@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: plan construction without
+ * the (slow) random-forest fit for large chips, and table formatting.
+ */
+
+#ifndef YOUTIAO_BENCH_COMMON_HPP
+#define YOUTIAO_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+
+#include "chip/topology.hpp"
+#include "core/config.hpp"
+#include "core/youtiao.hpp"
+#include "noise/crosstalk_data.hpp"
+
+namespace youtiao::bench {
+
+/** Fit-free YOUTIAO design (Sections 4.2-4.4 on measured matrices),
+ *  used by the count/cost reproductions where the random-forest stage is
+ *  irrelevant. Thin wrapper over YoutiaoDesigner::designFromMeasurements
+ *  kept for the benches' call sites. */
+inline YoutiaoDesign
+designFromMeasurements(const ChipTopology &chip,
+                       const ChipCharacterization &data,
+                       const YoutiaoConfig &config, double w_phy = 0.6)
+{
+    return YoutiaoDesigner(config).designFromMeasurements(chip, data,
+                                                          w_phy);
+}
+
+/** "$413K" / "$1.25M" formatting used by the paper's tables. */
+inline std::string
+money(double usd)
+{
+    char buf[32];
+    if (usd >= 1e6)
+        std::snprintf(buf, sizeof buf, "$%.2fM", usd / 1e6);
+    else
+        std::snprintf(buf, sizeof buf, "$%.0fK", usd / 1e3);
+    return buf;
+}
+
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace youtiao::bench
+
+#endif // YOUTIAO_BENCH_COMMON_HPP

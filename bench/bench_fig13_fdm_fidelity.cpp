@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: FDM grouping fidelity on the 36-qubit chip.
+ *
+ * (a) Random single-qubit gates on 4-qubit FDM lines: YOUTIAO's
+ *     noise-aware grouping + two-level allocation vs George et al.
+ *     (in-line-only allocation) vs the unoptimized chip-local-cluster
+ *     baseline (paper: 99.98% / 99.96% / ~2.25x YOUTIAO's error).
+ * (b) Random single-qubit gate layers across the whole 36-qubit chip
+ *     (9 FDM lines): fidelity vs layer count up to 100
+ *     (paper: YOUTIAO 55.1% vs baseline 22.9% at 100 layers).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "bench_common.hpp"
+#include "chip/topology_builder.hpp"
+#include "core/baselines.hpp"
+#include "sim/fidelity_estimator.hpp"
+
+namespace {
+
+using namespace youtiao;
+
+struct Setup
+{
+    ChipTopology chip = makeSquareGrid(6, 6);
+    ChipCharacterization data;
+    YoutiaoConfig config;
+    YoutiaoDesign ours;
+    BaselineDesign george;
+    BaselineDesign unopt;
+
+    Setup()
+    {
+        Prng prng(0xF13);
+        data = characterizeChip(chip, prng);
+        config.fdm.lineCapacity = 4;
+        config.fit.forest.treeCount = 25;
+        const YoutiaoDesigner designer(config);
+        ours = designer.design(chip, data);
+        george = designGeorgeFdm(chip, config);
+        unopt = designUnoptimizedFdm(chip, config);
+    }
+
+    FidelityContext
+    context(const FdmPlan &plan, const FrequencyPlan &freq) const
+    {
+        FidelityContext ctx;
+        ctx.noise = NoiseModel(config.noise);
+        ctx.xyCoupling = data.xyCrosstalk;
+        ctx.zzMHz = data.zzCrosstalkMHz;
+        ctx.frequencyGHz = freq.frequencyGHz;
+        ctx.fdmLineOfQubit = plan.lineOfQubit;
+        for (std::size_t q = 0; q < chip.qubitCount(); ++q)
+            ctx.t1Ns.push_back(chip.qubit(q).t1Ns);
+        return ctx;
+    }
+};
+
+const Setup &
+setup()
+{
+    static const Setup s;
+    return s;
+}
+
+/** Per-gate fidelity of `layers` random XY layers on `qubits`. */
+double
+perGateFidelity(const std::vector<std::size_t> &qubits,
+                const FidelityContext &ctx, std::size_t layers,
+                Prng &prng)
+{
+    QuantumCircuit qc(setup().chip.qubitCount());
+    std::size_t gates = 0;
+    for (std::size_t l = 0; l < layers; ++l) {
+        for (std::size_t q : qubits) {
+            const double angle =
+                prng.uniform(-std::numbers::pi, std::numbers::pi);
+            if (prng.bernoulli(0.5))
+                qc.rx(q, angle);
+            else
+                qc.ry(q, angle);
+            ++gates;
+        }
+        qc.barrier();
+    }
+    const double total = estimateFidelity(qc, ctx).fidelity;
+    return std::pow(total, 1.0 / static_cast<double>(gates));
+}
+
+/** Whole-chip fidelity of `layers` random XY layers on all 36 qubits. */
+double
+wholeChipFidelity(const FidelityContext &ctx, std::size_t layers,
+                  Prng &prng)
+{
+    QuantumCircuit qc(setup().chip.qubitCount());
+    for (std::size_t l = 0; l < layers; ++l) {
+        for (std::size_t q = 0; q < setup().chip.qubitCount(); ++q) {
+            const double angle =
+                prng.uniform(-std::numbers::pi, std::numbers::pi);
+            if (prng.bernoulli(0.5))
+                qc.rx(q, angle);
+            else
+                qc.ry(q, angle);
+        }
+        qc.barrier();
+    }
+    return estimateFidelity(qc, ctx).fidelity;
+}
+
+void
+printFigure()
+{
+    const Setup &s = setup();
+
+    std::printf("Figure 13 (a): 1q-gate fidelity on 4-qubit FDM lines "
+                "(10 layers, averaged over all lines)\n");
+    bench::rule();
+    auto average = [&](const FdmPlan &plan, const FrequencyPlan &freq) {
+        const FidelityContext ctx = s.context(plan, freq);
+        Prng prng(0xAB);
+        double sum = 0.0;
+        for (const auto &line : plan.lines) {
+            Prng line_prng = prng.split();
+            sum += perGateFidelity(line, ctx, 10, line_prng);
+        }
+        return sum / static_cast<double>(plan.lines.size());
+    };
+    const double f_ours = average(s.ours.xyPlan, s.ours.frequencyPlan);
+    const double f_george =
+        average(s.george.xyPlan, s.george.frequencyPlan);
+    const double f_unopt = average(s.unopt.xyPlan, s.unopt.frequencyPlan);
+    std::printf("YOUTIAO  (noise-aware grouping + 2-level alloc): %.4f%%\n",
+                100.0 * f_ours);
+    std::printf("George   (in-line-only allocation):              %.4f%%\n",
+                100.0 * f_george);
+    std::printf("baseline (local cluster, fabrication freqs):     %.4f%%\n",
+                100.0 * f_unopt);
+    std::printf("error ratios: George/YOUTIAO = %.2fx, "
+                "baseline/YOUTIAO = %.2fx\n",
+                (1.0 - f_george) / (1.0 - f_ours),
+                (1.0 - f_unopt) / (1.0 - f_ours));
+    std::printf("(paper: 99.98%% vs 99.96%%; baseline error 2.25x)\n\n");
+
+    std::printf("Figure 13 (b): whole-chip fidelity vs random gate "
+                "layers (36 qubits)\n");
+    bench::rule();
+    std::printf("%7s %10s %10s\n", "layers", "YOUTIAO", "baseline");
+    const FidelityContext ours_ctx =
+        s.context(s.ours.xyPlan, s.ours.frequencyPlan);
+    const FidelityContext unopt_ctx =
+        s.context(s.unopt.xyPlan, s.unopt.frequencyPlan);
+    for (std::size_t layers : {10, 20, 40, 60, 80, 100}) {
+        Prng pa(0xCD + layers), pb(0xCD + layers);
+        std::printf("%7zu %9.1f%% %9.1f%%\n", layers,
+                    100.0 * wholeChipFidelity(ours_ctx, layers, pa),
+                    100.0 * wholeChipFidelity(unopt_ctx, layers, pb));
+    }
+    std::printf("(paper at 100 layers: YOUTIAO 55.1%%, baseline 22.9%%)\n\n");
+}
+
+void
+BM_FdmGrouping(benchmark::State &state)
+{
+    const Setup &s = setup();
+    const SymmetricMatrix d = s.ours.xyModel.predictQubitMatrix(s.chip);
+    FdmGroupingConfig cfg;
+    cfg.lineCapacity = 4;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(groupFdm(d, cfg));
+}
+BENCHMARK(BM_FdmGrouping)->Unit(benchmark::kMicrosecond);
+
+void
+BM_FrequencyAllocation(benchmark::State &state)
+{
+    const Setup &s = setup();
+    const NoiseModel noise(s.config.noise);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(allocateFrequencies(
+            s.ours.xyPlan, s.ours.predictedXy, noise, s.config.frequency));
+    }
+}
+BENCHMARK(BM_FrequencyAllocation)->Unit(benchmark::kMicrosecond);
+
+void
+BM_WholeChipFidelityEstimate(benchmark::State &state)
+{
+    const Setup &s = setup();
+    const FidelityContext ctx =
+        s.context(s.ours.xyPlan, s.ours.frequencyPlan);
+    Prng prng(1);
+    for (auto _ : state) {
+        Prng local = prng;
+        benchmark::DoNotOptimize(wholeChipFidelity(ctx, 100, local));
+    }
+}
+BENCHMARK(BM_WholeChipFidelityEstimate)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Reproduces paper Figure 15: circuit fidelity of the five benchmarks
+ * under the three wiring systems (paper: YOUTIAO 1.23x better than
+ * Acharya's local clustering, 1.06x below Google's dedicated wiring).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "chip/topology_builder.hpp"
+#include "circuit/benchmarks.hpp"
+#include "circuit/transpiler.hpp"
+#include "core/baselines.hpp"
+#include "multiplex/tdm_scheduler.hpp"
+
+#include <cmath>
+
+namespace {
+
+using namespace youtiao;
+
+struct System
+{
+    const char *name;
+    TdmPlan zPlan;
+    FidelityContext ctx;
+};
+
+struct Setup
+{
+    ChipTopology chip = makeSquareGrid(6, 6);
+    ChipCharacterization data;
+    YoutiaoConfig config;
+    std::vector<System> systems;
+
+    Setup()
+    {
+        Prng prng(0xF15);
+        data = characterizeChip(chip, prng);
+        config.fit.forest.treeCount = 25;
+        // Depth-oriented grouping (see bench_ablations G); the paper's
+        // Fig 14/15 regime.
+        config.tdm.minGroupScore = 0.5;
+        config.tdm.noisyZzMHz = 1e9;
+
+        const YoutiaoDesigner designer(config);
+        const YoutiaoDesign ours = designer.design(chip, data);
+        FidelityContext ours_ctx = designer.makeFidelityContext(chip, ours);
+        ours_ctx.xyCoupling = data.xyCrosstalk; // judge with the truth
+        ours_ctx.zzMHz = data.zzCrosstalkMHz;
+
+        const BaselineDesign google =
+            designGoogleWiring(chip, config, &data.xyCrosstalk);
+        const BaselineDesign acharya =
+            designAcharyaTdm(chip, config, &data.xyCrosstalk);
+
+        systems.push_back(System{
+            "Google", google.zPlan,
+            makeBaselineFidelityContext(chip, google, data.xyCrosstalk,
+                                        data.zzCrosstalkMHz, config)});
+        systems.push_back(System{"YOUTIAO", ours.zPlan, ours_ctx});
+        systems.push_back(System{
+            "Acharya", acharya.zPlan,
+            makeBaselineFidelityContext(chip, acharya, data.xyCrosstalk,
+                                        data.zzCrosstalkMHz, config)});
+    }
+};
+
+const Setup &
+setup()
+{
+    static const Setup s;
+    return s;
+}
+
+QuantumCircuit
+physicalBenchmark(BenchmarkKind kind)
+{
+    Prng prng(0x51 + static_cast<std::uint64_t>(kind));
+    // Benchmark instances use 12 of the 36 qubits (the paper's 8-qubit
+    // DJ motivating example scale), mapped onto the chip's BFS patch.
+    const QuantumCircuit logical = makeBenchmark(kind, 12, prng);
+    return transpile(logical, setup().chip).physical;
+}
+
+void
+printFigure()
+{
+    std::printf("Figure 15: circuit fidelity across 5 benchmarks\n");
+    bench::rule();
+    std::printf("%-8s %10s %10s %10s %12s\n", "circuit", "Google",
+                "YOUTIAO", "Acharya", "YOUTIAO+safe");
+    bench::rule();
+    double log_g = 0.0, log_y = 0.0, log_a = 0.0, log_s = 0.0;
+    for (BenchmarkKind kind : allBenchmarks()) {
+        const QuantumCircuit qc = physicalBenchmark(kind);
+        double f[3];
+        for (std::size_t s = 0; s < 3; ++s) {
+            const System &sys = setup().systems[s];
+            const Schedule schedule =
+                scheduleWithTdm(qc, setup().chip, sys.zPlan);
+            f[s] = estimateFidelity(qc, schedule, sys.ctx).fidelity;
+        }
+        // "Safe" mode: additionally serialize high-ZZ gate pairs the
+        // grouping did not already force apart.
+        const System &ours = setup().systems[1];
+        const Schedule safe_schedule = scheduleWithTdmAndNoise(
+            qc, setup().chip, ours.zPlan, setup().data.zzCrosstalkMHz,
+            setup().config.tdm.noisyZzMHz);
+        const double f_safe =
+            estimateFidelity(qc, safe_schedule, ours.ctx).fidelity;
+        log_g += std::log(f[0]);
+        log_y += std::log(f[1]);
+        log_a += std::log(f[2]);
+        log_s += std::log(f_safe);
+        std::printf("%-8s %9.1f%% %9.1f%% %9.1f%% %11.1f%%\n",
+                    benchmarkName(kind), 100.0 * f[0], 100.0 * f[1],
+                    100.0 * f[2], 100.0 * f_safe);
+    }
+    bench::rule();
+    const double n = static_cast<double>(allBenchmarks().size());
+    std::printf("geomean fidelity ratios: YOUTIAO/Acharya = %.2fx "
+                "(paper 1.23x), Google/YOUTIAO = %.2fx (paper 1.06x), "
+                "safe/YOUTIAO = %.2fx\n\n",
+                std::exp((log_y - log_a) / n),
+                std::exp((log_g - log_y) / n),
+                std::exp((log_s - log_y) / n));
+    std::printf("(safe mode serializes residual high-ZZ pairs; at this "
+                "noise scale the extra exposure\n outweighs the avoided "
+                "crosstalk -- the grouping already absorbs the worst "
+                "pairs)\n\n");
+}
+
+void
+BM_FidelityEstimate(benchmark::State &state)
+{
+    const QuantumCircuit qc =
+        physicalBenchmark(static_cast<BenchmarkKind>(state.range(0)));
+    const System &sys = setup().systems[1];
+    const Schedule schedule =
+        scheduleWithTdm(qc, setup().chip, sys.zPlan);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            estimateFidelity(qc, schedule, sys.ctx));
+    }
+}
+BENCHMARK(BM_FidelityEstimate)->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces paper Figure 16: proportions of 1:2 vs 1:4 cryo-DEMUXes
+ * across the five chip topologies as the parallelism threshold theta
+ * sweeps. Square topologies (highest parallelism) keep the largest 1:2
+ * share; raising theta trades gate freedom for Z-line multiplexing depth.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "chip/topology_builder.hpp"
+#include "multiplex/parallelism_index.hpp"
+
+namespace {
+
+using namespace youtiao;
+
+const std::vector<TopologyFamily> kFamilies{
+    TopologyFamily::Square, TopologyFamily::Hexagon,
+    TopologyFamily::HeavySquare, TopologyFamily::HeavyHexagon,
+    TopologyFamily::LowDensity};
+
+void
+printFigure()
+{
+    std::printf("Figure 16: cryo-DEMUX proportions vs parallelism "
+                "threshold theta\n");
+    bench::rule(86);
+    std::printf("%-14s |", "topology");
+    for (double theta : {2.0, 3.0, 4.0, 5.0, 6.0})
+        std::printf("   theta=%-4.0f |", theta);
+    std::printf("\n%-14s |", "");
+    for (int i = 0; i < 5; ++i)
+        std::printf("  1:2    1:4 |");
+    std::printf("\n");
+    bench::rule(86);
+    for (TopologyFamily family : kFamilies) {
+        const ChipTopology chip = makeTopology(family);
+        Prng prng(0xF16);
+        const ChipCharacterization data = characterizeChip(chip, prng);
+        std::printf("%-14s |", topologyFamilyName(family));
+        for (double theta : {2.0, 3.0, 4.0, 5.0, 6.0}) {
+            TdmGroupingConfig cfg;
+            cfg.parallelismThreshold = theta;
+            const TdmPlan plan =
+                groupTdm(chip, data.zzCrosstalkMHz, cfg);
+            const double total =
+                static_cast<double>(plan.groupCountWithFanout(2) +
+                                    plan.groupCountWithFanout(4));
+            const double frac12 =
+                total == 0.0
+                    ? 0.0
+                    : static_cast<double>(plan.groupCountWithFanout(2)) /
+                          total;
+            std::printf(" %4.0f%%  %4.0f%% |", 100.0 * frac12,
+                        100.0 * (1.0 - frac12));
+        }
+        std::printf("\n");
+    }
+    bench::rule(86);
+    std::printf("(paper: square keeps the largest 1:2 share; theta "
+                "trades Z-line efficiency vs parallelism)\n\n");
+}
+
+void
+BM_ParallelismIndices(benchmark::State &state)
+{
+    const ChipTopology chip = makeSquareGrid(
+        static_cast<std::size_t>(state.range(0)),
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(parallelismIndices(chip));
+}
+BENCHMARK(BM_ParallelismIndices)->Arg(6)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_TdmGrouping(benchmark::State &state)
+{
+    const ChipTopology chip = makeSquareGrid(
+        static_cast<std::size_t>(state.range(0)),
+        static_cast<std::size_t>(state.range(0)));
+    Prng prng(1);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            groupTdm(chip, data.zzCrosstalkMHz, {}));
+    }
+}
+BENCHMARK(BM_TdmGrouping)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

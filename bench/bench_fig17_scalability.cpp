@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Reproduces paper Figure 17: large-scale wiring estimation.
+ *  (a) Coax cables for square systems of 10..1000 qubits, Google vs
+ *      YOUTIAO (paper: >2.3x reduction; 150 qubits: 613 -> 267).
+ *  (b) Parallel-X fidelity across all 150 qubits (paper: 94.3%).
+ *  (c) IBM chiplet scale-out comparison (paper: ~3.4x cable reduction).
+ *  (d) 1k..100k qubits: cable count and dollar savings (paper: 3.1x,
+ *      >$2.3B saved; our theta=4 mix yields 2.3x / $1.5B -- see
+ *      EXPERIMENTS.md).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <numbers>
+
+#include "bench_common.hpp"
+#include "core/scalability.hpp"
+#include "multiplex/frequency_allocation.hpp"
+#include "sim/fidelity_estimator.hpp"
+
+namespace {
+
+using namespace youtiao;
+
+void
+printPartA()
+{
+    std::printf("Figure 17 (a): coax cables, 10 - 1000 qubit square "
+                "systems\n");
+    bench::rule();
+    std::printf("%8s %10s %10s %10s\n", "#qubits", "Google", "YOUTIAO",
+                "reduction");
+    for (std::size_t n : {10, 30, 100, 150, 300, 600, 1000}) {
+        const ScalePoint p = estimateSquareSystem(n);
+        std::printf("%8zu %10zu %10zu %9.2fx\n", n, p.googleCoax,
+                    p.youtiaoCoax, p.coaxReduction());
+    }
+    std::printf("(paper at 150 qubits: 613 -> 267, 2.3x)\n\n");
+}
+
+void
+printPartB()
+{
+    std::printf("Figure 17 (b): simultaneous X gates on all 150 "
+                "qubits\n");
+    bench::rule();
+    const ChipTopology chip = makeGridWithQubitCount(150);
+    Prng prng(0xF17);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    YoutiaoConfig config;
+    const YoutiaoDesign design =
+        bench::designFromMeasurements(chip, data, config);
+    const NoiseModel noise(config.noise);
+    const FrequencyPlan freq = allocateFrequencies(
+        design.xyPlan, data.xyCrosstalk, noise, config.frequency);
+
+    FidelityContext ctx;
+    ctx.noise = noise;
+    ctx.xyCoupling = data.xyCrosstalk;
+    ctx.zzMHz = data.zzCrosstalkMHz;
+    ctx.frequencyGHz = freq.frequencyGHz;
+    ctx.fdmLineOfQubit = design.xyPlan.lineOfQubit;
+    for (std::size_t q = 0; q < chip.qubitCount(); ++q)
+        ctx.t1Ns.push_back(chip.qubit(q).t1Ns);
+
+    QuantumCircuit qc(chip.qubitCount());
+    for (std::size_t q = 0; q < chip.qubitCount(); ++q)
+        qc.rx(q, std::numbers::pi);
+    const double f = estimateFidelity(qc, ctx).fidelity;
+    std::printf("all-qubit X fidelity: %.1f%%  (paper: 94.3%%)\n\n",
+                100.0 * f);
+}
+
+void
+printPartC()
+{
+    std::printf("Figure 17 (c): IBM chiplet scale-out comparison\n");
+    bench::rule();
+    std::printf("%8s %10s %12s %10s %10s\n", "copies", "qubits",
+                "IBM cables", "YOUTIAO", "reduction");
+    for (std::size_t copies : {1, 5, 10, 25}) {
+        const ChipletComparison cmp = compareIbmChiplet(copies);
+        std::printf("%8zu %10zu %12zu %10zu %9.2fx\n", cmp.copies,
+                    cmp.totalQubits, cmp.ibmCoax, cmp.youtiaoCoax,
+                    cmp.cableReduction());
+    }
+    std::printf("(paper at 25 copies of 133-qubit chips: ~3.5x)\n\n");
+}
+
+void
+printPartD()
+{
+    std::printf("Figure 17 (d): 1k - 100k qubit systems\n");
+    bench::rule();
+    std::printf("%8s %10s %10s %10s %14s\n", "#qubits", "Google",
+                "YOUTIAO", "fraction", "savings");
+    for (std::size_t n : {1000, 10000, 50000, 100000}) {
+        const ScalePoint p = estimateSquareSystem(n);
+        std::printf("%8zu %10zu %10zu %9.0f%% %14s\n", n, p.googleCoax,
+                    p.youtiaoCoax,
+                    100.0 * static_cast<double>(p.youtiaoCoax) /
+                        static_cast<double>(p.googleCoax),
+                    bench::money(p.googleCostUsd - p.youtiaoCostUsd)
+                        .c_str());
+    }
+    std::printf("(paper at 100k: 4.4e5 cables -> 32%%, >$2.3B saved; "
+                "our theta=4 mix: ~44%%, ~$1.5B)\n\n");
+}
+
+void
+BM_EstimateSquareSystem(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(estimateSquareSystem(n));
+}
+BENCHMARK(BM_EstimateSquareSystem)->Arg(150)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GridConstruction(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(makeGridWithQubitCount(n));
+}
+BENCHMARK(BM_GridConstruction)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printPartA();
+    printPartB();
+    printPartC();
+    printPartD();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Reproduces paper Table 1: wiring results of fault-tolerant (surface
+ * code) quantum chips for Google-style dedicated wiring vs YOUTIAO, over
+ * code distances 3..11: #XY lines, #Z lines, wiring cost, and two-qubit
+ * gate depth of a 25-cycle error-correction circuit.
+ *
+ * Absolute depth differs from the paper (they report ~24-27 CZ "depth
+ * units" per cycle, our scheduler counts 4-6 CZ layers per cycle); the
+ * comparison that matters -- YOUTIAO within ~1.2x of dedicated wiring --
+ * is preserved. See EXPERIMENTS.md.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "chip/surface_code_layout.hpp"
+#include "circuit/surface_code_circuit.hpp"
+#include "core/baselines.hpp"
+#include "core/fault_tolerant.hpp"
+#include "cost/cost_model.hpp"
+#include "multiplex/tdm_scheduler.hpp"
+
+namespace {
+
+using namespace youtiao;
+
+constexpr std::size_t kCycles = 25;
+
+struct Row
+{
+    std::size_t distance, xy, z, depth;
+    double cost;
+};
+
+Row
+googleRow(std::size_t distance)
+{
+    const SurfaceCodeLayout layout = makeSurfaceCodeLayout(distance);
+    const WiringCounts counts = dedicatedWiringCounts(
+        layout.chip.qubitCount(), layout.chip.couplerCount());
+    const QuantumCircuit qc = makeSurfaceCodeCycles(layout, kCycles);
+    const Schedule s =
+        scheduleWithTdm(qc, layout.chip, dedicatedZPlan(layout.chip));
+    return Row{distance, counts.xyLines, counts.zLines,
+               s.twoQubitDepth(qc), wiringCostUsd(counts)};
+}
+
+Row
+youtiaoRow(std::size_t distance)
+{
+    const SurfaceCodeLayout layout = makeSurfaceCodeLayout(distance);
+    const YoutiaoConfig config;
+    const SurfaceCodeWiring design =
+        designSurfaceCodeWiring(layout, config);
+    const QuantumCircuit qc = makeSurfaceCodeCycles(layout, kCycles);
+    const Schedule s = scheduleWithTdm(qc, layout.chip, design.zPlan);
+    return Row{distance, design.counts.xyLines, design.counts.zLines,
+               s.twoQubitDepth(qc), design.costUsd};
+}
+
+void
+printTable()
+{
+    std::printf("Table 1: wiring results of fault-tolerant quantum "
+                "chip (%zu EC cycles)\n", kCycles);
+    bench::rule();
+    std::printf("%-9s %8s %8s %8s %12s %14s\n", "system", "distance",
+                "#XY line", "#Z line", "wiring cost", "2q gate depth");
+    bench::rule();
+    double google_cost_11 = 0.0, ours_cost_11 = 0.0;
+    std::size_t google_depth = 0, ours_depth = 0;
+    for (std::size_t d : {3, 5, 7, 9, 11}) {
+        const Row row = googleRow(d);
+        std::printf("%-9s %8zu %8zu %8zu %12s %14zu\n", "Google", d,
+                    row.xy, row.z, bench::money(row.cost).c_str(),
+                    row.depth);
+        if (d == 11)
+            google_cost_11 = row.cost;
+        google_depth += row.depth;
+    }
+    bench::rule();
+    for (std::size_t d : {3, 5, 7, 9, 11}) {
+        const Row row = youtiaoRow(d);
+        std::printf("%-9s %8zu %8zu %8zu %12s %14zu\n", "YOUTIAO", d,
+                    row.xy, row.z, bench::money(row.cost).c_str(),
+                    row.depth);
+        if (d == 11)
+            ours_cost_11 = row.cost;
+        ours_depth += row.depth;
+    }
+    bench::rule();
+    std::printf("wiring-cost reduction at d=11: %.2fx (paper: 2.35x, "
+                "$6.43M -> $2.84M)\n", google_cost_11 / ours_cost_11);
+    std::printf("2q-depth ratio YOUTIAO/Google:  %.2fx (paper: <= 1.18x)\n\n",
+                static_cast<double>(ours_depth) /
+                    static_cast<double>(google_depth));
+}
+
+void
+BM_SurfaceCodeLayout(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            makeSurfaceCodeLayout(static_cast<std::size_t>(state.range(0))));
+    }
+}
+BENCHMARK(BM_SurfaceCodeLayout)->Arg(3)->Arg(7)->Arg(11);
+
+void
+BM_YoutiaoFaultTolerantDesign(benchmark::State &state)
+{
+    const SurfaceCodeLayout layout =
+        makeSurfaceCodeLayout(static_cast<std::size_t>(state.range(0)));
+    const YoutiaoConfig config;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(designSurfaceCodeWiring(layout, config));
+    }
+}
+BENCHMARK(BM_YoutiaoFaultTolerantDesign)->Arg(3)->Arg(7)->Arg(11)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TdmScheduleEcCycles(benchmark::State &state)
+{
+    const SurfaceCodeLayout layout =
+        makeSurfaceCodeLayout(static_cast<std::size_t>(state.range(0)));
+    const YoutiaoConfig config;
+    const SurfaceCodeWiring design =
+        designSurfaceCodeWiring(layout, config);
+    const QuantumCircuit qc = makeSurfaceCodeCycles(layout, 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            scheduleWithTdm(qc, layout.chip, design.zPlan));
+    }
+}
+BENCHMARK(BM_TdmScheduleEcCycles)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Reproduces paper Table 2: cryostat-level and chip-level wiring of five
+ * topologies (square, hexagon, heavy square, heavy hexagon, low-density),
+ * Google-style dedicated wiring vs YOUTIAO: #XY/#Z lines, DEMUX control
+ * lines, #DAC, wiring cost, chip interfaces and routed area.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chip/topology_builder.hpp"
+#include "core/baselines.hpp"
+#include "routing/chip_router.hpp"
+
+namespace {
+
+using namespace youtiao;
+
+const std::vector<TopologyFamily> kFamilies{
+    TopologyFamily::Square, TopologyFamily::Hexagon,
+    TopologyFamily::HeavySquare, TopologyFamily::HeavyHexagon,
+    TopologyFamily::LowDensity};
+
+struct SideMetrics
+{
+    WiringCounts counts;
+    double costUsd = 0.0;
+    std::size_t interfaces = 0;
+    double areaMm2 = 0.0;
+};
+
+SideMetrics
+googleSide(const ChipTopology &chip, const YoutiaoConfig &config)
+{
+    const BaselineDesign design = designGoogleWiring(chip, config);
+    SideMetrics side;
+    side.counts = design.counts;
+    side.costUsd = design.costUsd;
+    const auto nets = buildWiringNets(chip, design.xyPlan, design.zPlan,
+                                      design.readoutPlan);
+    const ChipRoutingResult route = routeChip(chip, nets);
+    side.interfaces = design.counts.interfaces();
+    side.areaMm2 = route.routingAreaMm2;
+    return side;
+}
+
+SideMetrics
+youtiaoSide(const ChipTopology &chip, const YoutiaoConfig &config)
+{
+    Prng prng(0x7AB1E2 + chip.qubitCount());
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    const YoutiaoDesign design =
+        bench::designFromMeasurements(chip, data, config);
+    SideMetrics side;
+    side.counts = design.counts;
+    side.costUsd = design.costUsd;
+    const FdmPlan readout =
+        groupFdmLocalCluster(chip, config.cost.readoutFeedCapacity);
+    const auto nets =
+        buildWiringNets(chip, design.xyPlan, design.zPlan, readout);
+    const ChipRoutingResult route = routeChip(chip, nets);
+    side.interfaces = design.counts.interfaces();
+    side.areaMm2 = route.routingAreaMm2;
+    return side;
+}
+
+void
+printTable()
+{
+    const YoutiaoConfig config;
+    std::printf("Table 2: evaluation of the quantum wiring system\n");
+    bench::rule(100);
+    std::printf("%-14s %6s | %5s %5s %6s %5s %9s %7s %7s | level\n",
+                "topology", "#qubit", "#XY", "#Z", "#DEMUX", "#DAC",
+                "cost", "#iface", "area");
+    bench::rule(100);
+    for (TopologyFamily family : kFamilies) {
+        const ChipTopology chip = makeTopology(family);
+        const SideMetrics google = googleSide(chip, config);
+        std::printf("%-14s %6zu | %5zu %5zu %6zu %5zu %9s %7zu %6.2f | "
+                    "Google\n",
+                    topologyFamilyName(family), chip.qubitCount(),
+                    google.counts.xyLines, google.counts.zLines,
+                    google.counts.demuxSelectLines, google.counts.dacs(),
+                    bench::money(google.costUsd).c_str(),
+                    google.interfaces, google.areaMm2);
+        const SideMetrics ours = youtiaoSide(chip, config);
+        std::printf("%-14s %6s | %5zu %5zu %6zu %5zu %9s %7zu %6.2f | "
+                    "YOUTIAO (%.1fx cost, %.1fx area)\n",
+                    "", "", ours.counts.xyLines, ours.counts.zLines,
+                    ours.counts.demuxSelectLines, ours.counts.dacs(),
+                    bench::money(ours.costUsd).c_str(), ours.interfaces,
+                    ours.areaMm2, google.costUsd / ours.costUsd,
+                    google.areaMm2 / ours.areaMm2);
+    }
+    bench::rule(100);
+    std::printf("paper: ~3.1x cryostat-level cost reduction, ~1.3x "
+                "routing-area reduction, ~1.6x fewer interfaces\n\n");
+}
+
+void
+BM_YoutiaoDesign(benchmark::State &state)
+{
+    const ChipTopology chip =
+        makeTopology(kFamilies[static_cast<std::size_t>(state.range(0))]);
+    Prng prng(1);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    const YoutiaoConfig config;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bench::designFromMeasurements(chip, data, config));
+    }
+}
+BENCHMARK(BM_YoutiaoDesign)->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_RouteChip(benchmark::State &state)
+{
+    const ChipTopology chip =
+        makeTopology(kFamilies[static_cast<std::size_t>(state.range(0))]);
+    const BaselineDesign design = designGoogleWiring(chip);
+    const auto nets = buildWiringNets(chip, design.xyPlan, design.zPlan,
+                                      design.readoutPlan);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(routeChip(chip, nets));
+}
+BENCHMARK(BM_RouteChip)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: wire a 6x6 Xmon chip with YOUTIAO end to end.
+ *
+ *  1. build the chip model,
+ *  2. "measure" its crosstalk (synthetic calibration data),
+ *  3. run the designer: fit crosstalk models, partition, group FDM/TDM,
+ *     allocate frequencies,
+ *  4. compare the resulting wiring bill against dedicated wiring.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "chip/topology_builder.hpp"
+#include "core/baselines.hpp"
+#include "core/youtiao.hpp"
+
+int
+main()
+{
+    using namespace youtiao;
+
+    // 1. A 36-qubit chip like the paper's evaluation target.
+    const ChipTopology chip = makeSquareGrid(6, 6);
+    std::printf("chip: %s -- %zu qubits, %zu couplers\n",
+                chip.name().c_str(), chip.qubitCount(),
+                chip.couplerCount());
+
+    // 2. Calibration data (stands in for the real chip's measurements).
+    Prng prng(2025);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+
+    // 3. The YOUTIAO pipeline.
+    YoutiaoConfig config;             // paper defaults: FDM capacity 5,
+    config.fit.forest.treeCount = 25; // theta = 4, 1:2 + 1:4 DEMUXes
+    const YoutiaoDesigner designer(config);
+    const YoutiaoDesign design = designer.design(chip, data);
+
+    std::printf("\ncrosstalk model: w_phy = %.1f, w_top = %.1f "
+                "(CV error %.3f)\n",
+                design.xyModel.wPhy(), design.xyModel.wTop(),
+                design.xyModel.cvError());
+    std::printf("partition: %zu regions, %zu border swaps\n",
+                design.partition.regionCount(), design.partition.swapCount);
+    std::printf("FDM: %zu XY lines (capacity %zu), %zu frequency zones\n",
+                design.xyPlan.lineCount(), config.fdm.lineCapacity,
+                design.frequencyPlan.zoneCount);
+    std::printf("TDM: %zu Z lines (%zu x 1:4, %zu x 1:2, rest "
+                "dedicated), %zu select lines\n",
+                design.zPlan.lineCount(),
+                design.zPlan.groupCountWithFanout(4),
+                design.zPlan.groupCountWithFanout(2),
+                design.zPlan.selectLineCount());
+
+    // 4. The wiring bill vs Google-style dedicated wiring.
+    const BaselineDesign google = designGoogleWiring(chip, config);
+    std::printf("\n%12s %10s %10s\n", "", "Google", "YOUTIAO");
+    std::printf("%12s %10zu %10zu\n", "coax", google.counts.coax(),
+                design.counts.coax());
+    std::printf("%12s %10zu %10zu\n", "DACs", google.counts.dacs(),
+                design.counts.dacs());
+    std::printf("%12s %10zu %10zu\n", "interfaces",
+                google.counts.interfaces(), design.counts.interfaces());
+    std::printf("%12s %9.0fK %9.0fK  (%.1fx cheaper)\n", "cost ($)",
+                google.costUsd / 1e3, design.costUsd / 1e3,
+                google.costUsd / design.costUsd);
+    return 0;
+}

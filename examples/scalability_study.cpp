@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Wiring scalability study (paper Section 5.6): how far does one
+ * cryostat's cable budget go with and without YOUTIAO?
+ *
+ * The Bluefors KIDE platform tops out around 4000 coaxial lines; this
+ * example sweeps square-grid systems and reports the largest system each
+ * wiring style supports, plus the dollar savings along the way.
+ *
+ * Build & run:  ./build/examples/scalability_study
+ */
+
+#include <cstdio>
+
+#include "core/scalability.hpp"
+
+int
+main()
+{
+    using namespace youtiao;
+
+    constexpr std::size_t kide_limit = 4000;
+    std::printf("%8s %10s %10s %10s %12s\n", "#qubits", "Google",
+                "YOUTIAO", "reduction", "savings");
+    std::size_t google_max = 0, youtiao_max = 0;
+    for (std::size_t n : {50, 150, 500, 1000, 2000, 5000, 10000}) {
+        const ScalePoint p = estimateSquareSystem(n);
+        if (p.googleCoax <= kide_limit)
+            google_max = n;
+        if (p.youtiaoCoax <= kide_limit)
+            youtiao_max = n;
+        std::printf("%8zu %10zu %10zu %9.2fx %11.1fM\n", n, p.googleCoax,
+                    p.youtiaoCoax, p.coaxReduction(),
+                    (p.googleCostUsd - p.youtiaoCostUsd) / 1e6);
+    }
+    std::printf("\nwithin the ~%zu-coax KIDE budget: dedicated wiring "
+                "supports ~%zu qubits,\nYOUTIAO supports ~%zu qubits.\n",
+                kide_limit, google_max, youtiao_max);
+
+    std::printf("\nIBM chiplet scale-out (25 x ~133-qubit heavy-hex):\n");
+    const ChipletComparison cmp = compareIbmChiplet(25);
+    std::printf("  %zu qubits: %zu cables dedicated vs %zu with YOUTIAO "
+                "(%.1fx)\n", cmp.totalQubits, cmp.ibmCoax,
+                cmp.youtiaoCoax, cmp.cableReduction());
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fault-tolerant chip design case study (paper Section 5.2).
+ *
+ * Wires rotated surface-code patches of distance 3..11 with YOUTIAO's
+ * co-design -- stabilizer couplers share deep DEMUXes, data qubits pair
+ * within a sacrificed-step budget -- then runs a 25-cycle error-
+ * correction circuit through the TDM-aware scheduler to show the depth
+ * cost of the cheaper wiring.
+ *
+ * Build & run:  ./build/examples/surface_code_design
+ */
+
+#include <cstdio>
+
+#include "chip/surface_code_layout.hpp"
+#include "circuit/surface_code_circuit.hpp"
+#include "core/baselines.hpp"
+#include "core/fault_tolerant.hpp"
+#include "multiplex/tdm_scheduler.hpp"
+
+int
+main()
+{
+    using namespace youtiao;
+
+    std::printf("%4s %7s %8s | %12s %12s | %10s %10s\n", "d", "qubits",
+                "couplers", "Google cost", "YOUTIAO cost", "ideal 2q",
+                "YOUTIAO 2q");
+    for (std::size_t d : {3, 5, 7, 9, 11}) {
+        const SurfaceCodeLayout layout = makeSurfaceCodeLayout(d);
+        const YoutiaoConfig config;
+        const SurfaceCodeWiring ours = designSurfaceCodeWiring(layout,
+                                                               config);
+        const WiringCounts google = dedicatedWiringCounts(
+            layout.chip.qubitCount(), layout.chip.couplerCount());
+
+        const QuantumCircuit ec = makeSurfaceCodeCycles(layout, 25);
+        const std::size_t ideal =
+            scheduleWithTdm(ec, layout.chip, dedicatedZPlan(layout.chip))
+                .twoQubitDepth(ec);
+        const std::size_t with_tdm =
+            scheduleWithTdm(ec, layout.chip, ours.zPlan)
+                .twoQubitDepth(ec);
+        std::printf("%4zu %7zu %8zu | %11.0fK %11.0fK | %10zu %10zu\n",
+                    d, layout.chip.qubitCount(),
+                    layout.chip.couplerCount(),
+                    wiringCostUsd(google) / 1e3, ours.costUsd / 1e3,
+                    ideal, with_tdm);
+    }
+    std::printf("\nThe multiplexed patch halves the wiring bill while the "
+                "25-cycle EC circuit\ngrows by about one CZ layer per "
+                "cycle (the sacrificed dance step).\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Plain device records making up a superconducting chip.
+ *
+ * A chip consists of Xmon-style transmon qubits and tunable couplers. Each
+ * qubit carries three control lines in a dedicated-wiring system (XY, Z,
+ * readout resonator tap); each coupler carries one Z line. YOUTIAO's whole
+ * point is to multiplex those lines.
+ */
+
+#ifndef YOUTIAO_CHIP_DEVICE_HPP
+#define YOUTIAO_CHIP_DEVICE_HPP
+
+#include <cmath>
+#include <cstddef>
+
+namespace youtiao {
+
+/** 2-D chip-plane coordinate in millimetres. */
+struct Point
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/** Euclidean distance between two chip-plane points (mm). */
+inline double
+distance(const Point &a, const Point &b)
+{
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+/** A transmon qubit as placed on the chip. */
+struct QubitInfo
+{
+    /** Placement on the sapphire substrate (mm). */
+    Point position;
+    /** Fabrication base frequency (GHz); retuned by frequency allocation. */
+    double baseFrequencyGHz = 5.0;
+    /** Relaxation time T1 (ns); the paper's chips average 90 us. */
+    double t1Ns = 90e3;
+};
+
+/** A tunable coupler joining two qubits. */
+struct CouplerInfo
+{
+    /** Placement on the substrate (mm), typically the qubit midpoint. */
+    Point position;
+    /** Endpoint qubit indices. */
+    std::size_t qubitA = 0;
+    std::size_t qubitB = 0;
+};
+
+/** The two device classes sharing the chip's Z-control plane. */
+enum class DeviceKind { Qubit, Coupler };
+
+} // namespace youtiao
+
+#endif // YOUTIAO_CHIP_DEVICE_HPP

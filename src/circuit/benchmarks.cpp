@@ -1,0 +1,221 @@
+#include "circuit/benchmarks.hpp"
+
+#include <numbers>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+} // namespace
+
+const char *
+benchmarkName(BenchmarkKind kind)
+{
+    switch (kind) {
+      case BenchmarkKind::VQC: return "VQC";
+      case BenchmarkKind::ISING: return "ISING";
+      case BenchmarkKind::DJ: return "DJ";
+      case BenchmarkKind::QFT: return "QFT";
+      case BenchmarkKind::QKNN: return "QKNN";
+    }
+    return "?";
+}
+
+std::vector<BenchmarkKind>
+allBenchmarks()
+{
+    return {BenchmarkKind::VQC, BenchmarkKind::ISING, BenchmarkKind::DJ,
+            BenchmarkKind::QFT, BenchmarkKind::QKNN};
+}
+
+void
+appendControlledPhase(QuantumCircuit &qc, std::size_t control,
+                      std::size_t target, double theta)
+{
+    // CP(theta) = RZ_c(theta/2) RZ_t(theta/2) CX RZ_t(-theta/2) CX
+    qc.rz(control, theta / 2.0);
+    qc.rz(target, theta / 2.0);
+    qc.cnot(control, target);
+    qc.rz(target, -theta / 2.0);
+    qc.cnot(control, target);
+}
+
+void
+appendRzz(QuantumCircuit &qc, std::size_t a, std::size_t b, double theta)
+{
+    qc.cnot(a, b);
+    qc.rz(b, theta);
+    qc.cnot(a, b);
+}
+
+void
+appendToffoli(QuantumCircuit &qc, std::size_t a, std::size_t b,
+              std::size_t target)
+{
+    const double t = pi / 4.0;
+    qc.h(target);
+    qc.cnot(b, target);
+    qc.rz(target, -t);
+    qc.cnot(a, target);
+    qc.rz(target, t);
+    qc.cnot(b, target);
+    qc.rz(target, -t);
+    qc.cnot(a, target);
+    qc.rz(b, t);
+    qc.rz(target, t);
+    qc.h(target);
+    qc.cnot(a, b);
+    qc.rz(a, t);
+    qc.rz(b, -t);
+    qc.cnot(a, b);
+}
+
+void
+appendFredkin(QuantumCircuit &qc, std::size_t control, std::size_t t1,
+              std::size_t t2)
+{
+    qc.cnot(t2, t1);
+    appendToffoli(qc, control, t1, t2);
+    qc.cnot(t2, t1);
+}
+
+QuantumCircuit
+makeVqc(std::size_t qubits, std::size_t layers, Prng &prng)
+{
+    requireConfig(qubits >= 2, "VQC needs at least 2 qubits");
+    QuantumCircuit qc(qubits, "VQC");
+    for (std::size_t l = 0; l < layers; ++l) {
+        for (std::size_t q = 0; q < qubits; ++q) {
+            qc.ry(q, prng.uniform(-pi, pi));
+            qc.rz(q, prng.uniform(-pi, pi));
+        }
+        // Brickwork CZ entangler: even bonds then odd bonds, so each layer
+        // is maximally parallel on hardware.
+        for (std::size_t q = 0; q + 1 < qubits; q += 2)
+            qc.cz(q, q + 1);
+        for (std::size_t q = 1; q + 1 < qubits; q += 2)
+            qc.cz(q, q + 1);
+    }
+    for (std::size_t q = 0; q < qubits; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+QuantumCircuit
+makeIsing(std::size_t qubits, std::size_t trotter_steps, double j_coupling,
+          double h_field, double dt)
+{
+    requireConfig(qubits >= 2, "ISING needs at least 2 qubits");
+    QuantumCircuit qc(qubits, "ISING");
+    for (std::size_t q = 0; q < qubits; ++q)
+        qc.h(q); // start in |+>^n
+    for (std::size_t s = 0; s < trotter_steps; ++s) {
+        for (std::size_t q = 0; q + 1 < qubits; q += 2)
+            appendRzz(qc, q, q + 1, -2.0 * j_coupling * dt);
+        for (std::size_t q = 1; q + 1 < qubits; q += 2)
+            appendRzz(qc, q, q + 1, -2.0 * j_coupling * dt);
+        for (std::size_t q = 0; q < qubits; ++q)
+            qc.rx(q, -2.0 * h_field * dt);
+    }
+    for (std::size_t q = 0; q < qubits; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+QuantumCircuit
+makeDeutschJozsa(std::size_t qubits, unsigned long mask)
+{
+    requireConfig(qubits >= 2, "DJ needs at least 2 qubits");
+    const std::size_t inputs = qubits - 1;
+    const std::size_t ancilla = qubits - 1;
+    requireConfig(mask != 0, "balanced oracle mask must be non-zero");
+    requireConfig(inputs >= 64 || mask < (1ul << inputs),
+                  "oracle mask wider than the input register");
+    QuantumCircuit qc(qubits, "DJ");
+    qc.x(ancilla);
+    for (std::size_t q = 0; q < qubits; ++q)
+        qc.h(q);
+    // Balanced oracle: f(x) = parity of the masked inputs.
+    for (std::size_t q = 0; q < inputs; ++q) {
+        if (mask & (1ul << q))
+            qc.cnot(q, ancilla);
+    }
+    for (std::size_t q = 0; q < inputs; ++q)
+        qc.h(q);
+    for (std::size_t q = 0; q < inputs; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+QuantumCircuit
+makeQft(std::size_t qubits)
+{
+    requireConfig(qubits >= 1, "QFT needs at least 1 qubit");
+    QuantumCircuit qc(qubits, "QFT");
+    for (std::size_t i = 0; i < qubits; ++i) {
+        qc.h(i);
+        for (std::size_t j = i + 1; j < qubits; ++j) {
+            const double theta =
+                pi / static_cast<double>(1ul << (j - i));
+            appendControlledPhase(qc, j, i, theta);
+        }
+    }
+    for (std::size_t i = 0; i < qubits / 2; ++i)
+        qc.swap(i, qubits - 1 - i);
+    for (std::size_t q = 0; q < qubits; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+QuantumCircuit
+makeQknn(std::size_t register_size, Prng &prng)
+{
+    requireConfig(register_size >= 1, "QKNN needs register size >= 1");
+    const std::size_t n = 2 * register_size + 1;
+    const std::size_t ancilla = 0;
+    QuantumCircuit qc(n, "QKNN");
+    // Random product-state feature encodings in both registers.
+    for (std::size_t k = 0; k < 2 * register_size; ++k) {
+        qc.ry(1 + k, prng.uniform(0.0, pi));
+        qc.rz(1 + k, prng.uniform(-pi, pi));
+    }
+    // Swap test: H on the ancilla, Fredkin per qubit pair, H, measure.
+    qc.h(ancilla);
+    for (std::size_t k = 0; k < register_size; ++k)
+        appendFredkin(qc, ancilla, 1 + k, 1 + register_size + k);
+    qc.h(ancilla);
+    qc.measure(ancilla);
+    return qc;
+}
+
+QuantumCircuit
+makeBenchmark(BenchmarkKind kind, std::size_t chip_qubits, Prng &prng)
+{
+    requireConfig(chip_qubits >= 3, "benchmarks need at least 3 qubits");
+    switch (kind) {
+      case BenchmarkKind::VQC:
+        return makeVqc(chip_qubits, 4, prng);
+      case BenchmarkKind::ISING:
+        return makeIsing(chip_qubits, 3);
+      case BenchmarkKind::DJ: {
+        // Balanced oracle over roughly half of the inputs.
+        const std::size_t inputs = chip_qubits - 1;
+        unsigned long mask = 0;
+        for (std::size_t q = 0; q < inputs; q += 2)
+            mask |= 1ul << q;
+        return makeDeutschJozsa(chip_qubits, mask);
+      }
+      case BenchmarkKind::QFT:
+        return makeQft(chip_qubits);
+      case BenchmarkKind::QKNN:
+        return makeQknn((chip_qubits - 1) / 2, prng);
+    }
+    throw ConfigError("unknown benchmark kind");
+}
+
+} // namespace youtiao

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Generators for the paper's five evaluation benchmarks (Section 5.1):
+ * Variational Quantum Classifier (VQC), linear Ising model trotterization
+ * (ISING), Deutsch-Jozsa (DJ), Quantum Fourier Transform (QFT), and
+ * Quantum K-Nearest-Neighbours via swap tests (QKNN).
+ *
+ * Circuits are emitted at the logical level (H/X/CNOT/rotations); the
+ * transpiler lowers them to the chip basis and inserts routing SWAPs.
+ */
+
+#ifndef YOUTIAO_CIRCUIT_BENCHMARKS_HPP
+#define YOUTIAO_CIRCUIT_BENCHMARKS_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/prng.hpp"
+
+namespace youtiao {
+
+/** The five paper benchmarks. */
+enum class BenchmarkKind { VQC, ISING, DJ, QFT, QKNN };
+
+/** Uppercase display name ("VQC", ...). */
+const char *benchmarkName(BenchmarkKind kind);
+
+/** All five kinds in paper order. */
+std::vector<BenchmarkKind> allBenchmarks();
+
+/**
+ * Hardware-efficient VQC ansatz: @p layers of per-qubit RY/RZ rotations
+ * (random parameters) followed by a CZ entangling ladder.
+ */
+QuantumCircuit makeVqc(std::size_t qubits, std::size_t layers, Prng &prng);
+
+/**
+ * First-order trotterization of the linear (chain) Ising model:
+ * per step, RZZ on every chain bond plus a transverse RX on every qubit.
+ */
+QuantumCircuit makeIsing(std::size_t qubits, std::size_t trotter_steps,
+                         double j_coupling = 1.0, double h_field = 0.8,
+                         double dt = 0.1);
+
+/**
+ * Deutsch-Jozsa over @p qubits - 1 inputs and one ancilla, with a balanced
+ * oracle XORing the inputs selected by @p mask (must select at least one).
+ */
+QuantumCircuit makeDeutschJozsa(std::size_t qubits, unsigned long mask = 1);
+
+/** Standard QFT with controlled-phase cascades and final reversal swaps. */
+QuantumCircuit makeQft(std::size_t qubits);
+
+/**
+ * QKNN distance-estimation kernel: a swap test between two
+ * @p register_size-qubit feature registers (random state prep), using one
+ * ancilla; total qubits = 2 * register_size + 1.
+ */
+QuantumCircuit makeQknn(std::size_t register_size, Prng &prng);
+
+/**
+ * Build benchmark @p kind sized for a chip with @p chip_qubits qubits
+ * (uses all of them, except QKNN which uses the largest odd 2k+1 <= n).
+ */
+QuantumCircuit makeBenchmark(BenchmarkKind kind, std::size_t chip_qubits,
+                             Prng &prng);
+
+/** @{ Multi-qubit helpers used by the generators (exposed for tests). */
+
+/** Controlled-phase CP(theta) via two CNOTs and three RZs. */
+void appendControlledPhase(QuantumCircuit &qc, std::size_t control,
+                           std::size_t target, double theta);
+
+/** RZZ(theta) = CNOT, RZ(theta) on target, CNOT. */
+void appendRzz(QuantumCircuit &qc, std::size_t a, std::size_t b,
+               double theta);
+
+/** Toffoli via the standard 6-CNOT + T-ladder decomposition. */
+void appendToffoli(QuantumCircuit &qc, std::size_t a, std::size_t b,
+                   std::size_t target);
+
+/** Fredkin (controlled-SWAP) via CNOT-conjugated Toffoli. */
+void appendFredkin(QuantumCircuit &qc, std::size_t control, std::size_t t1,
+                   std::size_t t2);
+/** @} */
+
+} // namespace youtiao
+
+#endif // YOUTIAO_CIRCUIT_BENCHMARKS_HPP

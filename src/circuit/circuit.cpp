@@ -1,0 +1,210 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+const char *
+gateKindName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::RX: return "rx";
+      case GateKind::RY: return "ry";
+      case GateKind::RZ: return "rz";
+      case GateKind::H: return "h";
+      case GateKind::X: return "x";
+      case GateKind::CZ: return "cz";
+      case GateKind::CNOT: return "cnot";
+      case GateKind::SWAP: return "swap";
+      case GateKind::Measure: return "measure";
+      case GateKind::Barrier: return "barrier";
+    }
+    return "?";
+}
+
+QuantumCircuit::QuantumCircuit(std::size_t qubit_count, std::string name)
+    : qubitCount_(qubit_count), name_(std::move(name))
+{}
+
+void
+QuantumCircuit::append(const Gate &gate)
+{
+    if (gate.kind != GateKind::Barrier) {
+        requireConfig(gate.qubit0 < qubitCount_,
+                      "gate operand out of range");
+        if (isTwoQubit(gate.kind)) {
+            requireConfig(gate.qubit1 < qubitCount_,
+                          "gate operand out of range");
+            requireConfig(gate.qubit0 != gate.qubit1,
+                          "two-qubit gate needs distinct operands");
+        }
+    }
+    gates_.push_back(gate);
+}
+
+void
+QuantumCircuit::rx(std::size_t q, double angle)
+{
+    append(Gate{GateKind::RX, q, 0, angle});
+}
+
+void
+QuantumCircuit::ry(std::size_t q, double angle)
+{
+    append(Gate{GateKind::RY, q, 0, angle});
+}
+
+void
+QuantumCircuit::rz(std::size_t q, double angle)
+{
+    append(Gate{GateKind::RZ, q, 0, angle});
+}
+
+void
+QuantumCircuit::h(std::size_t q)
+{
+    append(Gate{GateKind::H, q, 0, 0.0});
+}
+
+void
+QuantumCircuit::x(std::size_t q)
+{
+    append(Gate{GateKind::X, q, 0, std::numbers::pi});
+}
+
+void
+QuantumCircuit::cz(std::size_t a, std::size_t b)
+{
+    append(Gate{GateKind::CZ, a, b, 0.0});
+}
+
+void
+QuantumCircuit::cnot(std::size_t control, std::size_t target)
+{
+    append(Gate{GateKind::CNOT, control, target, 0.0});
+}
+
+void
+QuantumCircuit::swap(std::size_t a, std::size_t b)
+{
+    append(Gate{GateKind::SWAP, a, b, 0.0});
+}
+
+void
+QuantumCircuit::measure(std::size_t q)
+{
+    append(Gate{GateKind::Measure, q, 0, 0.0});
+}
+
+void
+QuantumCircuit::barrier()
+{
+    append(Gate{GateKind::Barrier, 0, 0, 0.0});
+}
+
+std::size_t
+QuantumCircuit::twoQubitGateCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [](const Gate &g) { return isTwoQubit(g.kind); }));
+}
+
+bool
+QuantumCircuit::isBasisOnly() const
+{
+    return std::all_of(gates_.begin(), gates_.end(),
+                       [](const Gate &g) { return isBasisGate(g.kind); });
+}
+
+QuantumCircuit
+QuantumCircuit::inverse() const
+{
+    QuantumCircuit out(qubitCount_, name_.empty() ? "" : name_ + "^-1");
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+        Gate g = *it;
+        requireConfig(g.kind != GateKind::Measure,
+                      "measured circuits are not invertible");
+        switch (g.kind) {
+          case GateKind::RX:
+          case GateKind::RY:
+          case GateKind::RZ:
+            g.angle = -g.angle;
+            break;
+          default:
+            break; // H, X, CZ, CNOT, SWAP, Barrier are self-inverse
+        }
+        out.append(g);
+    }
+    return out;
+}
+
+namespace {
+
+/** ASAP layer index per gate under qubit-availability constraints only. */
+std::vector<std::size_t>
+asapLayers(const QuantumCircuit &qc)
+{
+    std::vector<std::size_t> ready(qc.qubitCount(), 0);
+    std::vector<std::size_t> layer_of(qc.gateCount(), 0);
+    std::size_t barrier_floor = 0;
+    for (std::size_t g = 0; g < qc.gateCount(); ++g) {
+        const Gate &gate = qc.gates()[g];
+        if (gate.kind == GateKind::Barrier) {
+            std::size_t highest = barrier_floor;
+            for (std::size_t q = 0; q < qc.qubitCount(); ++q)
+                highest = std::max(highest, ready[q]);
+            barrier_floor = highest;
+            layer_of[g] = highest; // barrier occupies no layer itself
+            continue;
+        }
+        std::size_t at = std::max(barrier_floor, ready[gate.qubit0]);
+        if (isTwoQubit(gate.kind))
+            at = std::max(at, ready[gate.qubit1]);
+        layer_of[g] = at;
+        ready[gate.qubit0] = at + 1;
+        if (isTwoQubit(gate.kind))
+            ready[gate.qubit1] = at + 1;
+    }
+    return layer_of;
+}
+
+} // namespace
+
+std::size_t
+QuantumCircuit::depth() const
+{
+    if (gates_.empty())
+        return 0;
+    const auto layers = asapLayers(*this);
+    std::size_t depth = 0;
+    for (std::size_t g = 0; g < gates_.size(); ++g) {
+        if (gates_[g].kind == GateKind::Barrier)
+            continue;
+        depth = std::max(depth, layers[g] + 1);
+    }
+    return depth;
+}
+
+std::size_t
+QuantumCircuit::twoQubitDepth() const
+{
+    if (gates_.empty())
+        return 0;
+    const auto layers = asapLayers(*this);
+    std::vector<bool> has_two_qubit;
+    for (std::size_t g = 0; g < gates_.size(); ++g) {
+        if (!isTwoQubit(gates_[g].kind))
+            continue;
+        if (layers[g] >= has_two_qubit.size())
+            has_two_qubit.resize(layers[g] + 1, false);
+        has_two_qubit[layers[g]] = true;
+    }
+    return static_cast<std::size_t>(
+        std::count(has_two_qubit.begin(), has_two_qubit.end(), true));
+}
+
+} // namespace youtiao

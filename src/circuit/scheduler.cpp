@@ -1,0 +1,97 @@
+#include "circuit/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+double
+gateDurationNs(const Gate &gate, const GateDurations &durations)
+{
+    switch (gate.kind) {
+      case GateKind::RZ:
+        return durations.virtualZNs;
+      case GateKind::Measure:
+        return durations.readoutNs;
+      case GateKind::Barrier:
+        return 0.0;
+      default:
+        return isTwoQubit(gate.kind) ? durations.twoQubitNs
+                                     : durations.oneQubitNs;
+    }
+}
+
+std::size_t
+Schedule::twoQubitDepth(const QuantumCircuit &qc) const
+{
+    std::size_t count = 0;
+    for (const auto &layer : layers) {
+        const bool has_two = std::any_of(
+            layer.begin(), layer.end(), [&qc](std::size_t g) {
+                return isTwoQubit(qc.gates()[g].kind);
+            });
+        if (has_two)
+            ++count;
+    }
+    return count;
+}
+
+double
+Schedule::durationNs(const QuantumCircuit &qc,
+                     const GateDurations &durations) const
+{
+    double total = 0.0;
+    for (const auto &layer : layers) {
+        double slowest = 0.0;
+        for (std::size_t g : layer)
+            slowest = std::max(slowest,
+                               gateDurationNs(qc.gates()[g], durations));
+        total += slowest;
+    }
+    return total;
+}
+
+Schedule
+scheduleCircuit(const QuantumCircuit &qc, const LayerConstraint *constraint)
+{
+    Schedule schedule;
+    std::vector<std::vector<Gate>> layer_gates; // for constraint checks
+    std::vector<std::size_t> ready(qc.qubitCount(), 0);
+    std::size_t barrier_floor = 0;
+
+    for (std::size_t g = 0; g < qc.gateCount(); ++g) {
+        const Gate &gate = qc.gates()[g];
+        if (gate.kind == GateKind::Barrier) {
+            for (std::size_t q = 0; q < qc.qubitCount(); ++q)
+                barrier_floor = std::max(barrier_floor, ready[q]);
+            continue;
+        }
+        if (gate.kind == GateKind::RZ)
+            continue; // virtual frame update: free and instantaneous
+
+        std::size_t at = std::max(barrier_floor, ready[gate.qubit0]);
+        if (isTwoQubit(gate.kind))
+            at = std::max(at, ready[gate.qubit1]);
+        if (constraint != nullptr) {
+            while (at < layer_gates.size() &&
+                   !constraint->canCoexist(gate, layer_gates[at]))
+                ++at;
+        }
+        if (at >= schedule.layers.size()) {
+            schedule.layers.resize(at + 1);
+            layer_gates.resize(at + 1);
+        }
+        schedule.layers[at].push_back(g);
+        layer_gates[at].push_back(gate);
+        ready[gate.qubit0] = at + 1;
+        if (isTwoQubit(gate.kind))
+            ready[gate.qubit1] = at + 1;
+    }
+    // Trim trailing empty layers (possible when constraints spread gates).
+    while (!schedule.layers.empty() && schedule.layers.back().empty())
+        schedule.layers.pop_back();
+    return schedule;
+}
+
+} // namespace youtiao

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * List scheduler turning a gate sequence into parallel layers.
+ *
+ * Baseline scheduling respects qubit exclusivity only; wiring systems add
+ * constraints through the LayerConstraint interface — most importantly the
+ * TDM rule that gates needing Z pulses on devices behind one cryo-DEMUX
+ * cannot share a time window (multiplex/tdm_scheduler), which is exactly
+ * the "curse of circuit depth" the paper's grouping minimizes.
+ */
+
+#ifndef YOUTIAO_CIRCUIT_SCHEDULER_HPP
+#define YOUTIAO_CIRCUIT_SCHEDULER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace youtiao {
+
+/** Pluggable predicate restricting which gates may share a layer. */
+class LayerConstraint
+{
+  public:
+    virtual ~LayerConstraint() = default;
+
+    /**
+     * May @p gate join a layer already holding @p layer_gates?
+     * Qubit-disjointness has already been checked by the scheduler.
+     */
+    virtual bool canCoexist(const Gate &gate,
+                            const std::vector<Gate> &layer_gates) const = 0;
+};
+
+/** Wall-clock durations per gate class (ns). */
+struct GateDurations
+{
+    double oneQubitNs = 25.0;
+    double twoQubitNs = 60.0;
+    double readoutNs = 400.0;
+    /** Virtual RZ costs nothing. */
+    double virtualZNs = 0.0;
+};
+
+/** The layered schedule of one circuit. */
+struct Schedule
+{
+    /** Gate indices (into the circuit) per layer. */
+    std::vector<std::vector<std::size_t>> layers;
+
+    std::size_t depth() const { return layers.size(); }
+
+    /** Layers containing at least one two-qubit gate. */
+    std::size_t twoQubitDepth(const QuantumCircuit &qc) const;
+
+    /** Total duration: sum over layers of the slowest gate in each. */
+    double durationNs(const QuantumCircuit &qc,
+                      const GateDurations &durations = {}) const;
+};
+
+/**
+ * ASAP list scheduling of @p qc (program order preserved per qubit).
+ * @p constraint may be null for unconstrained hardware. Barriers and
+ * virtual RZs do not occupy layers.
+ */
+Schedule scheduleCircuit(const QuantumCircuit &qc,
+                         const LayerConstraint *constraint = nullptr);
+
+/** Duration of one gate under @p durations. */
+double gateDurationNs(const Gate &gate, const GateDurations &durations);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_CIRCUIT_SCHEDULER_HPP

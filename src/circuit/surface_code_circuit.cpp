@@ -1,0 +1,89 @@
+#include "circuit/surface_code_circuit.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+namespace {
+
+/** Quadrant of the data qubit relative to its measure qubit. */
+enum Quadrant { NE = 0, NW = 1, SE = 2, SW = 3 };
+
+Quadrant
+quadrantOf(const Point &measure, const Point &data)
+{
+    const bool east = data.x > measure.x;
+    const bool north = data.y > measure.y;
+    if (north)
+        return east ? NE : NW;
+    return east ? SE : SW;
+}
+
+} // namespace
+
+std::array<std::vector<std::pair<std::size_t, std::size_t>>, 4>
+surfaceCodeDanceSteps(const SurfaceCodeLayout &layout)
+{
+    const ChipTopology &chip = layout.chip;
+    // Dance orders that keep every data qubit on at most one CZ per step.
+    constexpr std::array<Quadrant, 4> x_order{NE, NW, SE, SW};
+    constexpr std::array<Quadrant, 4> z_order{NE, SE, NW, SW};
+
+    std::array<std::vector<std::pair<std::size_t, std::size_t>>, 4> steps;
+    for (std::size_t m = 0; m < chip.qubitCount(); ++m) {
+        if (layout.roles[m] == SurfaceCodeRole::Data)
+            continue;
+        const bool is_x = layout.roles[m] == SurfaceCodeRole::MeasureX;
+        const auto &order = is_x ? x_order : z_order;
+        for (const Incidence &inc : chip.qubitGraph().incidences(m)) {
+            const Quadrant quad =
+                quadrantOf(chip.qubit(m).position,
+                           chip.qubit(inc.vertex).position);
+            for (std::size_t step = 0; step < 4; ++step) {
+                if (order[step] == quad) {
+                    steps[step].emplace_back(m, inc.vertex);
+                    break;
+                }
+            }
+        }
+    }
+    return steps;
+}
+
+QuantumCircuit
+makeSurfaceCodeCycles(const SurfaceCodeLayout &layout, std::size_t cycles)
+{
+    requireConfig(cycles >= 1, "need at least one EC cycle");
+    const ChipTopology &chip = layout.chip;
+    QuantumCircuit qc(chip.qubitCount(),
+                      "surface code d=" + std::to_string(layout.distance));
+    const auto steps = surfaceCodeDanceSteps(layout);
+
+    for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+        for (std::size_t q = 0; q < chip.qubitCount(); ++q) {
+            if (layout.roles[q] != SurfaceCodeRole::Data)
+                qc.h(q);
+        }
+        qc.barrier();
+        for (const auto &step : steps) {
+            for (const auto &[m, d] : step)
+                qc.cz(m, d);
+            qc.barrier();
+        }
+        for (std::size_t q = 0; q < chip.qubitCount(); ++q) {
+            if (layout.roles[q] != SurfaceCodeRole::Data)
+                qc.h(q);
+        }
+        qc.barrier();
+        for (std::size_t q = 0; q < chip.qubitCount(); ++q) {
+            if (layout.roles[q] != SurfaceCodeRole::Data)
+                qc.measure(q);
+        }
+        qc.barrier();
+    }
+    return qc;
+}
+
+} // namespace youtiao

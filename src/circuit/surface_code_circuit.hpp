@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Error-correction cycle circuits for surface-code layouts
+ * (paper Figure 11 (b) and Table 1).
+ */
+
+#ifndef YOUTIAO_CIRCUIT_SURFACE_CODE_CIRCUIT_HPP
+#define YOUTIAO_CIRCUIT_SURFACE_CODE_CIRCUIT_HPP
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "chip/surface_code_layout.hpp"
+#include "circuit/circuit.hpp"
+
+namespace youtiao {
+
+/**
+ * The four-step CZ dance of one EC round: step s holds (measure, data)
+ * pairs gated simultaneously. X checks sweep NE-NW-SE-SW, Z checks
+ * NE-SE-NW-SW, so no data qubit appears twice in one step.
+ */
+std::array<std::vector<std::pair<std::size_t, std::size_t>>, 4>
+surfaceCodeDanceSteps(const SurfaceCodeLayout &layout);
+
+/**
+ * The error-correction circuit of @p cycles rounds on @p layout: per
+ * round, Hadamards on every measure qubit, the four-step CZ dance
+ * (X checks sweep NE-NW-SE-SW, Z checks NE-SE-NW-SW so no data qubit is
+ * claimed twice per step), closing Hadamards, and measure-qubit readout.
+ * Barriers align the dance steps across stabilizers.
+ */
+QuantumCircuit makeSurfaceCodeCycles(const SurfaceCodeLayout &layout,
+                                     std::size_t cycles);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_CIRCUIT_SURFACE_CODE_CIRCUIT_HPP

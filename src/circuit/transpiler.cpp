@@ -1,0 +1,202 @@
+#include "circuit/transpiler.hpp"
+
+#include <algorithm>
+#include <numbers>
+#include <queue>
+
+#include "common/error.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace youtiao {
+
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+void
+emitH(QuantumCircuit &out, std::size_t q)
+{
+    // H = RY(pi/2) . RZ(pi) up to global phase (RZ applied first).
+    out.rz(q, pi);
+    out.ry(q, pi / 2.0);
+}
+
+void
+emitCnot(QuantumCircuit &out, std::size_t control, std::size_t target)
+{
+    emitH(out, target);
+    out.cz(control, target);
+    emitH(out, target);
+}
+
+void
+emitSwap(QuantumCircuit &out, std::size_t a, std::size_t b)
+{
+    emitCnot(out, a, b);
+    emitCnot(out, b, a);
+    emitCnot(out, a, b);
+}
+
+void
+emitLowered(QuantumCircuit &out, const Gate &g, std::size_t q0,
+            std::size_t q1)
+{
+    switch (g.kind) {
+      case GateKind::RX:
+        out.rx(q0, g.angle);
+        break;
+      case GateKind::RY:
+        out.ry(q0, g.angle);
+        break;
+      case GateKind::RZ:
+        out.rz(q0, g.angle);
+        break;
+      case GateKind::H:
+        emitH(out, q0);
+        break;
+      case GateKind::X:
+        out.rx(q0, pi);
+        break;
+      case GateKind::CZ:
+        out.cz(q0, q1);
+        break;
+      case GateKind::CNOT:
+        emitCnot(out, q0, q1);
+        break;
+      case GateKind::SWAP:
+        emitSwap(out, q0, q1);
+        break;
+      case GateKind::Measure:
+        out.measure(q0);
+        break;
+      case GateKind::Barrier:
+        out.barrier();
+        break;
+    }
+}
+
+/**
+ * Boustrophedon (snake) order over the chip plane: qubits bucketed into
+ * rows by y coordinate, rows sorted bottom-up, alternating x direction.
+ * Consecutive order positions are physically adjacent on grid chips, so
+ * line-shaped circuits map with nearest-neighbour couplings intact.
+ */
+std::vector<std::size_t>
+snakeOrder(const ChipTopology &chip)
+{
+    std::vector<std::size_t> order(chip.qubitCount());
+    for (std::size_t q = 0; q < order.size(); ++q)
+        order[q] = q;
+    std::sort(order.begin(), order.end(),
+              [&chip](std::size_t a, std::size_t b) {
+                  const Point pa = chip.qubit(a).position;
+                  const Point pb = chip.qubit(b).position;
+                  if (pa.y != pb.y)
+                      return pa.y < pb.y;
+                  return pa.x < pb.x;
+              });
+    // Reverse every other row in place.
+    std::size_t row_start = 0;
+    bool reverse = false;
+    for (std::size_t i = 1; i <= order.size(); ++i) {
+        const bool row_end =
+            i == order.size() ||
+            chip.qubit(order[i]).position.y !=
+                chip.qubit(order[row_start]).position.y;
+        if (row_end) {
+            if (reverse)
+                std::reverse(order.begin() + static_cast<long>(row_start),
+                             order.begin() + static_cast<long>(i));
+            reverse = !reverse;
+            row_start = i;
+        }
+    }
+    return order;
+}
+
+/** Shortest path between two vertices (inclusive endpoints). */
+std::vector<std::size_t>
+shortestPath(const Graph &g, std::size_t from, std::size_t to)
+{
+    const MultiPathResult bfs = multiPathBfs(g, from);
+    requireConfig(bfs.hops[to] != kUnreachable,
+                  "cannot route on a disconnected coupling graph");
+    std::vector<std::size_t> path{to};
+    std::size_t at = to;
+    while (at != from) {
+        for (const Incidence &inc : g.incidences(at)) {
+            if (bfs.hops[inc.vertex] + 1 == bfs.hops[at]) {
+                at = inc.vertex;
+                path.push_back(at);
+                break;
+            }
+        }
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace
+
+QuantumCircuit
+lowerToBasis(const QuantumCircuit &logical)
+{
+    QuantumCircuit out(logical.qubitCount(), logical.name());
+    for (const Gate &g : logical.gates())
+        emitLowered(out, g, g.qubit0, g.qubit1);
+    return out;
+}
+
+TranspileResult
+transpile(const QuantumCircuit &logical, const ChipTopology &chip)
+{
+    requireConfig(logical.qubitCount() <= chip.qubitCount(),
+                  "circuit is wider than the chip");
+    const Graph &coupling = chip.qubitGraph();
+
+    // logical -> physical via snake placement; phys_of_logical is the
+    // live mapping updated by routing swaps.
+    const std::vector<std::size_t> order = snakeOrder(chip);
+    std::vector<std::size_t> phys_of_logical(logical.qubitCount());
+    for (std::size_t l = 0; l < logical.qubitCount(); ++l)
+        phys_of_logical[l] = order[l];
+
+    TranspileResult result;
+    result.physical = QuantumCircuit(chip.qubitCount(), logical.name());
+
+    for (const Gate &g : logical.gates()) {
+        if (!isTwoQubit(g.kind)) {
+            const std::size_t p =
+                g.kind == GateKind::Barrier ? 0
+                                            : phys_of_logical[g.qubit0];
+            emitLowered(result.physical, g, p, 0);
+            continue;
+        }
+        std::size_t pa = phys_of_logical[g.qubit0];
+        std::size_t pb = phys_of_logical[g.qubit1];
+        if (!coupling.hasEdge(pa, pb)) {
+            // Walk operand A along a shortest path until adjacent to B.
+            const auto path = shortestPath(coupling, pa, pb);
+            for (std::size_t k = 0; k + 2 < path.size(); ++k) {
+                emitSwap(result.physical, path[k], path[k + 1]);
+                ++result.insertedSwaps;
+                // The swap exchanges whatever logical qubits live there.
+                for (std::size_t l = 0; l < phys_of_logical.size(); ++l) {
+                    if (phys_of_logical[l] == path[k])
+                        phys_of_logical[l] = path[k + 1];
+                    else if (phys_of_logical[l] == path[k + 1])
+                        phys_of_logical[l] = path[k];
+                }
+            }
+            pa = phys_of_logical[g.qubit0];
+            pb = phys_of_logical[g.qubit1];
+            requireInternal(coupling.hasEdge(pa, pb),
+                            "routing failed to make operands adjacent");
+        }
+        emitLowered(result.physical, g, pa, pb);
+    }
+    result.finalLayout = phys_of_logical;
+    return result;
+}
+
+} // namespace youtiao

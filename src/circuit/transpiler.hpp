@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Transpiler: lowers logical circuits to the chip basis {RX, RY, RZ, CZ}
+ * and inserts routing SWAPs so every two-qubit gate acts on coupled qubits.
+ */
+
+#ifndef YOUTIAO_CIRCUIT_TRANSPILER_HPP
+#define YOUTIAO_CIRCUIT_TRANSPILER_HPP
+
+#include <vector>
+
+#include "chip/topology.hpp"
+#include "circuit/circuit.hpp"
+
+namespace youtiao {
+
+/** Output of transpile(). */
+struct TranspileResult
+{
+    /** Basis-only circuit over physical qubit indices. */
+    QuantumCircuit physical;
+    /** logical qubit -> physical qubit at circuit end. */
+    std::vector<std::size_t> finalLayout;
+    /** Routing SWAPs inserted (each lowered to 3 CZ + 1q gates). */
+    std::size_t insertedSwaps = 0;
+};
+
+/**
+ * Lower @p logical onto @p chip.
+ *
+ * Initial layout maps logical qubit i to the i-th vertex of a BFS order of
+ * the coupling graph (keeping small circuits on a connected patch).
+ * Non-adjacent two-qubit gates are routed by swapping one operand along a
+ * BFS shortest path. Throws ConfigError when the circuit is wider than the
+ * chip or the chip is disconnected.
+ */
+TranspileResult transpile(const QuantumCircuit &logical,
+                          const ChipTopology &chip);
+
+/** Lower one logical circuit to basis gates without any routing
+ *  (all-to-all connectivity assumed). */
+QuantumCircuit lowerToBasis(const QuantumCircuit &logical);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_CIRCUIT_TRANSPILER_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-handling primitives shared by every YOUTIAO subsystem.
+ *
+ * Mirrors the gem5 fatal()/panic() split: ConfigError is the user's fault
+ * (bad parameters), InternalError means the library itself is broken.
+ */
+
+#ifndef YOUTIAO_COMMON_ERROR_HPP
+#define YOUTIAO_COMMON_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace youtiao {
+
+/** Raised when user-supplied configuration or arguments are invalid. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &msg)
+        : std::runtime_error("youtiao config error: " + msg)
+    {}
+};
+
+/** Raised when an internal invariant is violated (a library bug). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error("youtiao internal error: " + msg)
+    {}
+};
+
+/**
+ * Throw ConfigError unless @p cond holds. Streams @p msg so call sites can
+ * build messages without allocating when the check passes is not attempted;
+ * keep messages cheap.
+ */
+inline void
+requireConfig(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw ConfigError(msg);
+}
+
+/** Throw InternalError unless @p cond holds. */
+inline void
+requireInternal(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw InternalError(msg);
+}
+
+} // namespace youtiao
+
+#endif // YOUTIAO_COMMON_ERROR_HPP

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal dense matrix types.
+ *
+ * YOUTIAO manipulates pairwise qubit quantities (physical distance,
+ * topological distance, equivalent distance, crosstalk) as symmetric
+ * matrices; Matrix is the general rectangular container backing them.
+ */
+
+#ifndef YOUTIAO_COMMON_MATRIX_HPP
+#define YOUTIAO_COMMON_MATRIX_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return data_.empty(); }
+
+    double &
+    operator()(std::size_t r, std::size_t c)
+    {
+        requireInternal(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    double
+    operator()(std::size_t r, std::size_t c) const
+    {
+        requireInternal(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    const std::vector<double> &data() const { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Symmetric matrix storing only the upper triangle (including the
+ * diagonal). Writing (i, j) and reading (j, i) see the same element.
+ */
+class SymmetricMatrix
+{
+  public:
+    SymmetricMatrix() = default;
+
+    explicit SymmetricMatrix(std::size_t n, double fill = 0.0)
+        : n_(n), data_(n * (n + 1) / 2, fill)
+    {}
+
+    std::size_t size() const { return n_; }
+    bool empty() const { return data_.empty(); }
+
+    double &
+    operator()(std::size_t i, std::size_t j)
+    {
+        return data_[index(i, j)];
+    }
+
+    double
+    operator()(std::size_t i, std::size_t j) const
+    {
+        return data_[index(i, j)];
+    }
+
+  private:
+    std::size_t
+    index(std::size_t i, std::size_t j) const
+    {
+        requireInternal(i < n_ && j < n_,
+                        "symmetric matrix index out of range");
+        if (i > j)
+            std::swap(i, j);
+        // Upper-triangle row-major offset for row i, column j >= i.
+        return i * n_ - i * (i + 1) / 2 + j;
+    }
+
+    std::size_t n_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace youtiao
+
+#endif // YOUTIAO_COMMON_MATRIX_HPP

@@ -1,0 +1,139 @@
+#include "common/prng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t v, int k)
+{
+    return (v << k) | (v >> (64 - k));
+}
+
+} // namespace
+
+Prng::Prng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+std::uint64_t
+Prng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Prng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Prng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::size_t
+Prng::uniformInt(std::size_t n)
+{
+    requireInternal(n > 0, "uniformInt(n) needs n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t bound = n;
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return static_cast<std::size_t>(v % bound);
+}
+
+int
+Prng::uniformInt(int lo, int hi)
+{
+    requireInternal(lo <= hi, "uniformInt(lo, hi) needs lo <= hi");
+    const auto span = static_cast<std::size_t>(
+        static_cast<long long>(hi) - lo + 1);
+    return lo + static_cast<int>(uniformInt(span));
+}
+
+double
+Prng::gaussian()
+{
+    if (haveSpareGaussian_) {
+        haveSpareGaussian_ = false;
+        return spareGaussian_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586476925286766559;
+    spareGaussian_ = mag * std::sin(two_pi * u2);
+    haveSpareGaussian_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+double
+Prng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Prng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::vector<std::size_t>
+Prng::sampleWithoutReplacement(std::size_t n, std::size_t k)
+{
+    requireConfig(k <= n, "cannot sample more items than the population");
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pool[i] = i;
+    // Partial Fisher-Yates: only the first k draws are needed.
+    for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j = i + uniformInt(n - i);
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+Prng
+Prng::split()
+{
+    return Prng(next());
+}
+
+} // namespace youtiao

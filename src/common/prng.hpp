@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of YOUTIAO (synthetic crosstalk data, random
+ * forest bootstrapping, random seed selection in the generative partition,
+ * random benchmark circuits) draws from this generator so that experiments
+ * are exactly reproducible from a single seed.
+ *
+ * The implementation is xoshiro256** (Blackman & Vigna) seeded through
+ * SplitMix64; both are public-domain algorithms reimplemented here.
+ */
+
+#ifndef YOUTIAO_COMMON_PRNG_HPP
+#define YOUTIAO_COMMON_PRNG_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace youtiao {
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256**) with convenience samplers.
+ *
+ * Not thread-safe; give each thread (or each experiment) its own instance,
+ * typically via split().
+ */
+class Prng
+{
+  public:
+    /** Seed via SplitMix64 expansion of @p seed. */
+    explicit Prng(std::uint64_t seed = 0x59544AFull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    std::size_t uniformInt(std::size_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int uniformInt(int lo, int hi);
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli trial with success probability @p p. */
+    bool bernoulli(double p);
+
+    /** Fisher-Yates shuffle of @p items. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            std::size_t j = uniformInt(i);
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /** Sample k distinct indices from [0, n) (k <= n). */
+    std::vector<std::size_t> sampleWithoutReplacement(std::size_t n,
+                                                      std::size_t k);
+
+    /**
+     * Derive an independent child generator. Used to hand deterministic yet
+     * decorrelated streams to sub-components.
+     */
+    Prng split();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    bool haveSpareGaussian_ = false;
+    double spareGaussian_ = 0.0;
+};
+
+} // namespace youtiao
+
+#endif // YOUTIAO_COMMON_PRNG_HPP

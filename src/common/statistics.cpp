@@ -1,0 +1,175 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+variance(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double sum = 0.0;
+    for (double x : xs)
+        sum += (x - m) * (x - m);
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+minimum(std::span<const double> xs)
+{
+    requireConfig(!xs.empty(), "minimum of empty span");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maximum(std::span<const double> xs)
+{
+    requireConfig(!xs.empty(), "maximum of empty span");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+median(std::span<const double> xs)
+{
+    requireConfig(!xs.empty(), "median of empty span");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    if (n % 2 == 1)
+        return sorted[n / 2];
+    return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double
+meanSquaredError(std::span<const double> predicted,
+                 std::span<const double> actual)
+{
+    requireConfig(predicted.size() == actual.size() && !predicted.empty(),
+                  "MSE needs equal-sized non-empty spans");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double d = predicted[i] - actual[i];
+        sum += d * d;
+    }
+    return sum / static_cast<double>(predicted.size());
+}
+
+double
+meanAbsoluteError(std::span<const double> predicted,
+                  std::span<const double> actual)
+{
+    requireConfig(predicted.size() == actual.size() && !predicted.empty(),
+                  "MAE needs equal-sized non-empty spans");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        sum += std::abs(predicted[i] - actual[i]);
+    return sum / static_cast<double>(predicted.size());
+}
+
+double
+pearsonCorrelation(std::span<const double> xs, std::span<const double> ys)
+{
+    requireConfig(xs.size() == ys.size() && xs.size() >= 2,
+                  "correlation needs two equal-sized spans of length >= 2");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+normalizedHistogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins)
+{
+    requireConfig(bins > 0, "histogram needs at least one bin");
+    requireConfig(hi > lo, "histogram range must be non-empty");
+    std::vector<double> hist(bins, 0.0);
+    if (xs.empty())
+        return hist;
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (double x : xs) {
+        auto raw = static_cast<long>(std::floor((x - lo) / width));
+        const long clamped =
+            std::clamp(raw, 0L, static_cast<long>(bins) - 1);
+        hist[static_cast<std::size_t>(clamped)] += 1.0;
+    }
+    const double total = static_cast<double>(xs.size());
+    for (double &h : hist)
+        h /= total;
+    return hist;
+}
+
+double
+klDivergence(std::span<const double> p, std::span<const double> q)
+{
+    requireConfig(p.size() == q.size() && !p.empty(),
+                  "KL divergence needs equal-sized non-empty distributions");
+    constexpr double eps = 1e-12;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p[i] <= 0.0)
+            continue;
+        sum += p[i] * std::log(p[i] / std::max(q[i], eps));
+    }
+    return sum;
+}
+
+double
+jsDivergence(std::span<const double> p, std::span<const double> q)
+{
+    requireConfig(p.size() == q.size() && !p.empty(),
+                  "JS divergence needs equal-sized non-empty distributions");
+    std::vector<double> m(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i)
+        m[i] = 0.5 * (p[i] + q[i]);
+    return 0.5 * klDivergence(p, m) + 0.5 * klDivergence(q, m);
+}
+
+std::vector<std::vector<std::size_t>>
+kFoldIndices(std::size_t n, std::size_t folds)
+{
+    requireConfig(folds >= 2, "cross-validation needs at least 2 folds");
+    requireConfig(n >= folds, "need at least one sample per fold");
+    std::vector<std::vector<std::size_t>> out(folds);
+    for (std::size_t f = 0; f < folds; ++f) {
+        const std::size_t begin = f * n / folds;
+        const std::size_t end = (f + 1) * n / folds;
+        out[f].reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i)
+            out[f].push_back(i);
+    }
+    return out;
+}
+
+} // namespace youtiao

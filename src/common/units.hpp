@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Physical unit conventions used across the library.
+ *
+ * Canonical internal units:
+ *   - frequency: GHz
+ *   - time: nanoseconds
+ *   - chip length: millimetres (device placement), micrometres (routing)
+ *   - money: US dollars
+ *
+ * The helpers below document conversions at call sites instead of leaving
+ * bare magic factors around.
+ */
+
+#ifndef YOUTIAO_COMMON_UNITS_HPP
+#define YOUTIAO_COMMON_UNITS_HPP
+
+namespace youtiao::units {
+
+/** Megahertz expressed in the canonical GHz unit. */
+inline constexpr double MHz = 1e-3;
+
+/** Gigahertz (canonical). */
+inline constexpr double GHz = 1.0;
+
+/** Microseconds expressed in canonical nanoseconds. */
+inline constexpr double us = 1e3;
+
+/** Nanoseconds (canonical for time). */
+inline constexpr double ns = 1.0;
+
+/** Micrometres expressed in canonical millimetres. */
+inline constexpr double um = 1e-3;
+
+/** Millimetres (canonical for placement). */
+inline constexpr double mm = 1.0;
+
+/** Thousand dollars. */
+inline constexpr double kUSD = 1e3;
+
+/** Million dollars. */
+inline constexpr double MUSD = 1e6;
+
+} // namespace youtiao::units
+
+#endif // YOUTIAO_COMMON_UNITS_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Comparator wiring systems from the paper's evaluation:
+ *
+ *  - Google Sycamore-style dedicated wiring [36]: one XY and one Z line
+ *    per qubit, one Z per coupler, readout-only multiplexing;
+ *  - George et al. [13]: FDM with in-line-only frequency allocation on
+ *    locally clustered groups;
+ *  - Acharya et al. [2]: TDM via cryo-DEMUX with legal local clustering;
+ *  - IBM chiplet scale-out [35]: dedicated-wiring heavy-hex chiplets.
+ */
+
+#ifndef YOUTIAO_CORE_BASELINES_HPP
+#define YOUTIAO_CORE_BASELINES_HPP
+
+#include "chip/topology.hpp"
+#include "core/config.hpp"
+#include "multiplex/frequency_allocation.hpp"
+#include "sim/fidelity_estimator.hpp"
+
+namespace youtiao {
+
+/** A baseline's wiring outcome (same shape as YOUTIAO's for comparison). */
+struct BaselineDesign
+{
+    FdmPlan xyPlan;
+    FrequencyPlan frequencyPlan;
+    TdmPlan zPlan;
+    FdmPlan readoutPlan;
+    WiringCounts counts;
+    double costUsd = 0.0;
+};
+
+/**
+ * Google-style dedicated wiring: one XY line per qubit, dedicated Z lines,
+ * readout FDM only. With @p measured_xy (a calibrated crosstalk matrix)
+ * the idle frequencies are tuned crosstalk-aware, modelling
+ * frequency-aware calibration (Ding et al., MICRO'20); otherwise
+ * fabrication values are kept.
+ */
+BaselineDesign designGoogleWiring(const ChipTopology &chip,
+                                  const YoutiaoConfig &config = {},
+                                  const SymmetricMatrix *measured_xy
+                                  = nullptr);
+
+/**
+ * George et al. FDM: local-cluster groups at @p config.fdm.lineCapacity
+ * with optimal in-line frequency spread but no inter-line coordination.
+ * Z plane stays dedicated (their work multiplexes RF lines only).
+ */
+BaselineDesign designGeorgeFdm(const ChipTopology &chip,
+                               const YoutiaoConfig &config = {});
+
+/**
+ * Unoptimized FDM: local-cluster groups keeping fabrication frequencies
+ * (the paper's worst-case baseline in Figure 13).
+ */
+BaselineDesign designUnoptimizedFdm(const ChipTopology &chip,
+                                    const YoutiaoConfig &config = {});
+
+/**
+ * Acharya et al. TDM: all Z devices behind 1:4 cryo-DEMUXes grouped by
+ * legal local clustering; XY/readout as Google.
+ */
+BaselineDesign designAcharyaTdm(const ChipTopology &chip,
+                                const YoutiaoConfig &config = {},
+                                const SymmetricMatrix *measured_xy
+                                = nullptr);
+
+/**
+ * Fidelity context for a baseline design on @p chip, using the true
+ * characterization matrices @p xy / @p zz.
+ */
+FidelityContext makeBaselineFidelityContext(const ChipTopology &chip,
+                                            const BaselineDesign &design,
+                                            const SymmetricMatrix &xy,
+                                            const SymmetricMatrix &zz,
+                                            const YoutiaoConfig &config
+                                            = {});
+
+} // namespace youtiao
+
+#endif // YOUTIAO_CORE_BASELINES_HPP

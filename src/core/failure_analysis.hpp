@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Wiring failure analysis: the blast radius of a broken line.
+ *
+ * Multiplexing's dark side: a failed coax or DEMUX now takes several
+ * devices down with it. These helpers quantify that trade-off so a
+ * designer can weigh cable savings against serviceability -- an analysis
+ * the paper leaves implicit.
+ */
+
+#ifndef YOUTIAO_CORE_FAILURE_ANALYSIS_HPP
+#define YOUTIAO_CORE_FAILURE_ANALYSIS_HPP
+
+#include <vector>
+
+#include "chip/topology.hpp"
+#include "core/youtiao.hpp"
+
+namespace youtiao {
+
+/** Which control plane a failing line belongs to. */
+enum class WiringPlane { Xy, Z, Readout };
+
+/**
+ * Qubits that lose a control capability when line @p line_id of
+ * @p plane fails. XY: the line's group. Z: qubits in the group plus both
+ * endpoints of every grouped coupler (their two-qubit gates die).
+ * Readout: the feedline's group.
+ */
+std::vector<std::size_t> qubitsLostIfLineFails(const ChipTopology &chip,
+                                               const YoutiaoDesign &design,
+                                               WiringPlane plane,
+                                               std::size_t line_id);
+
+/** Aggregate serviceability metrics of a design. */
+struct FailureImpact
+{
+    /** Lines across all three planes. */
+    std::size_t totalLines = 0;
+    /** Mean qubits affected per single-line failure. */
+    double meanQubitsLost = 0.0;
+    /** Worst single-line failure. */
+    std::size_t worstQubitsLost = 0;
+};
+
+/** Sweep every line of every plane. */
+FailureImpact analyzeFailureImpact(const ChipTopology &chip,
+                                   const YoutiaoDesign &design);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_CORE_FAILURE_ANALYSIS_HPP

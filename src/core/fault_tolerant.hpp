@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fault-tolerant chip wiring co-design (paper Section 5.2, Figure 11).
+ *
+ * The surface-code EC cycle has a rigid four-step CZ dance, so its
+ * non-parallelism structure is known exactly -- the strongest form of the
+ * paper's "natural non-parallel operations":
+ *
+ *  - the couplers of one stabilizer fire in different dance steps, so
+ *    they share one deep cryo-DEMUX for free;
+ *  - data qubits pair onto 1:2 DEMUXes when their active-step sets stay
+ *    within a small "sacrificed step" budget (steps where one extra CZ
+ *    layer per cycle is accepted);
+ *  - measure qubits are Z-active in every step and keep dedicated lines
+ *    (their parallel X-basis gates ride shared FDM XY lines instead).
+ */
+
+#ifndef YOUTIAO_CORE_FAULT_TOLERANT_HPP
+#define YOUTIAO_CORE_FAULT_TOLERANT_HPP
+
+#include "chip/surface_code_layout.hpp"
+#include "core/config.hpp"
+#include "multiplex/fdm.hpp"
+#include "multiplex/tdm.hpp"
+
+namespace youtiao {
+
+/** YOUTIAO wiring of a surface-code patch. */
+struct SurfaceCodeWiring
+{
+    FdmPlan xyPlan;
+    TdmPlan zPlan;
+    WiringCounts counts;
+    double costUsd = 0.0;
+    /** Dance steps accepting one extra CZ layer per cycle. */
+    std::size_t sacrificedSteps = 0;
+};
+
+/**
+ * Design the multiplexed wiring of @p layout. @p overlap_budget bounds
+ * how many dance steps may gain an extra layer per EC cycle (the paper's
+ * Table 1 shows +1..+2 layers per cycle).
+ */
+SurfaceCodeWiring designSurfaceCodeWiring(const SurfaceCodeLayout &layout,
+                                          const YoutiaoConfig &config = {},
+                                          std::size_t overlap_budget = 1);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_CORE_FAULT_TOLERANT_HPP

@@ -1,0 +1,164 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+std::string
+chipMap(const ChipTopology &chip, const std::vector<std::size_t> &assignment)
+{
+    requireConfig(assignment.size() == chip.qubitCount(),
+                  "assignment must cover every qubit");
+    if (chip.qubitCount() == 0)
+        return "";
+
+    // Coarsen positions onto a character grid, two columns per site so
+    // letters do not touch.
+    double min_x = chip.qubit(0).position.x, max_x = min_x;
+    double min_y = chip.qubit(0).position.y, max_y = min_y;
+    for (const QubitInfo &q : chip.qubits()) {
+        min_x = std::min(min_x, q.position.x);
+        max_x = std::max(max_x, q.position.x);
+        min_y = std::min(min_y, q.position.y);
+        max_y = std::max(max_y, q.position.y);
+    }
+    // Site pitch estimate: smallest non-zero coordinate gap.
+    double pitch = std::max(max_x - min_x, max_y - min_y);
+    for (std::size_t a = 0; a < chip.qubitCount(); ++a) {
+        for (std::size_t b = a + 1; b < chip.qubitCount(); ++b) {
+            const double d = chip.physicalDistance(a, b);
+            if (d > 1e-9)
+                pitch = std::min(pitch, d);
+        }
+    }
+    if (pitch <= 0.0)
+        pitch = 1.0;
+    const auto cols = static_cast<std::size_t>(
+                          std::lround((max_x - min_x) / pitch)) + 1;
+    const auto rows = static_cast<std::size_t>(
+                          std::lround((max_y - min_y) / pitch)) + 1;
+    std::vector<std::string> canvas(rows, std::string(2 * cols, '.'));
+    for (std::size_t q = 0; q < chip.qubitCount(); ++q) {
+        const auto cx = static_cast<std::size_t>(
+            std::lround((chip.qubit(q).position.x - min_x) / pitch));
+        const auto cy = static_cast<std::size_t>(
+            std::lround((chip.qubit(q).position.y - min_y) / pitch));
+        if (cy < rows && 2 * cx < canvas[cy].size())
+            canvas[cy][2 * cx] = static_cast<char>(
+                'A' + static_cast<char>(assignment[q] % 26));
+    }
+    std::ostringstream out;
+    for (auto it = canvas.rbegin(); it != canvas.rend(); ++it)
+        out << *it << '\n';
+    return out.str();
+}
+
+std::string
+wiringReport(const ChipTopology &chip, const YoutiaoDesign &design,
+             const YoutiaoConfig &config)
+{
+    std::ostringstream out;
+    char line[160];
+
+    out << "== YOUTIAO wiring report: " << chip.name() << " ==\n";
+    std::snprintf(line, sizeof line,
+                  "%zu qubits, %zu couplers; crosstalk model w_phy=%.1f "
+                  "w_top=%.1f\n\n",
+                  chip.qubitCount(), chip.couplerCount(),
+                  design.xyModel.wPhy(), design.xyModel.wTop());
+    out << line;
+
+    out << "-- XY plane (FDM, capacity " << config.fdm.lineCapacity
+        << ") --\n";
+    for (std::size_t l = 0; l < design.xyPlan.lines.size(); ++l) {
+        out << "line " << l << ":";
+        for (std::size_t q : design.xyPlan.lines[l]) {
+            std::snprintf(line, sizeof line, " q%zu@%.2fGHz", q,
+                          design.frequencyPlan.frequencyGHz[q]);
+            out << line;
+        }
+        out << '\n';
+    }
+    out << "\nchip map by FDM line:\n"
+        << chipMap(chip, design.xyPlan.lineOfQubit);
+
+    out << "\n-- Z plane (TDM) --\n";
+    std::snprintf(line, sizeof line,
+                  "%zu lines: %zu x 1:4, %zu x 1:2, %zu dedicated; "
+                  "%zu twisted-pair select lines\n",
+                  design.zPlan.lineCount(),
+                  design.zPlan.groupCountWithFanout(4),
+                  design.zPlan.groupCountWithFanout(2),
+                  design.zPlan.groupCountWithFanout(1),
+                  design.zPlan.selectLineCount());
+    out << line;
+
+    out << "\n-- cryostat bill --\n";
+    std::snprintf(line, sizeof line,
+                  "coax %zu | RF DACs %zu | interfaces %zu | cost "
+                  "$%.0fK\n",
+                  design.counts.coax(), design.counts.rfDacs(),
+                  design.counts.interfaces(), design.costUsd / 1e3);
+    out << line;
+    return out.str();
+}
+
+std::string
+costComparison(const YoutiaoDesign &ours, const BaselineDesign &baseline,
+               const std::string &baseline_name)
+{
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%s: %zu coax / $%.0fK  ->  YOUTIAO: %zu coax / $%.0fK "
+                  "(%.1fx cheaper)",
+                  baseline_name.c_str(), baseline.counts.coax(),
+                  baseline.costUsd / 1e3, ours.counts.coax(),
+                  ours.costUsd / 1e3, baseline.costUsd / ours.costUsd);
+    return line;
+}
+
+} // namespace youtiao
+
+namespace youtiao {
+
+std::string
+renderSchedule(const QuantumCircuit &qc, const Schedule &schedule,
+               std::size_t max_layers)
+{
+    std::ostringstream out;
+    const std::size_t layers =
+        std::min(max_layers, schedule.layers.size());
+    // One row per qubit, one column per layer: '.' idle, '1' one-qubit
+    // gate, '=' two-qubit gate, 'M' readout.
+    std::vector<std::string> rows(qc.qubitCount(),
+                                  std::string(layers, '.'));
+    for (std::size_t l = 0; l < layers; ++l) {
+        for (std::size_t gi : schedule.layers[l]) {
+            const Gate &g = qc.gates()[gi];
+            char mark = '1';
+            if (isTwoQubit(g.kind))
+                mark = '=';
+            else if (g.kind == GateKind::Measure)
+                mark = 'M';
+            rows[g.qubit0][l] = mark;
+            if (isTwoQubit(g.kind))
+                rows[g.qubit1][l] = mark;
+        }
+    }
+    for (std::size_t q = 0; q < rows.size(); ++q) {
+        char label[32];
+        std::snprintf(label, sizeof label, "q%-3zu ", q);
+        out << label << rows[q] << '\n';
+    }
+    if (schedule.layers.size() > layers)
+        out << "(+" << schedule.layers.size() - layers
+            << " more layers)\n";
+    return out.str();
+}
+
+} // namespace youtiao

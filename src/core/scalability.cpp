@@ -1,0 +1,108 @@
+#include "core/scalability.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "cost/cost_model.hpp"
+#include "multiplex/parallelism_index.hpp"
+
+namespace youtiao {
+
+ChipTopology
+makeGridWithQubitCount(std::size_t qubits, const BuilderOptions &opts)
+{
+    requireConfig(qubits >= 1, "need at least one qubit");
+    const auto rows = static_cast<std::size_t>(
+        std::floor(std::sqrt(static_cast<double>(qubits))));
+    const std::size_t cols = (qubits + rows - 1) / rows;
+
+    ChipTopology chip("square grid ~" + std::to_string(qubits));
+    for (std::size_t q = 0; q < qubits; ++q) {
+        const std::size_t r = q / cols;
+        const std::size_t c = q % cols;
+        QubitInfo info;
+        info.position = Point{static_cast<double>(c) * opts.pitchMm,
+                              static_cast<double>(r) * opts.pitchMm};
+        info.t1Ns = opts.t1Ns;
+        chip.addQubit(info);
+    }
+    for (std::size_t q = 0; q < qubits; ++q) {
+        const std::size_t r = q / cols;
+        const std::size_t c = q % cols;
+        if (c + 1 < cols && q + 1 < qubits && (q + 1) / cols == r)
+            chip.addCoupler(q, q + 1);
+        if (q + cols < qubits)
+            chip.addCoupler(q, q + cols);
+    }
+    Prng prng(opts.seed);
+    assignPatternFrequencies(chip, prng);
+    return chip;
+}
+
+ScalePoint
+estimateSquareSystem(std::size_t qubits, const YoutiaoConfig &config)
+{
+    const ChipTopology chip = makeGridWithQubitCount(qubits);
+    ScalePoint point;
+    point.qubits = chip.qubitCount();
+    point.couplers = chip.couplerCount();
+
+    const std::vector<double> index = parallelismIndices(chip);
+    for (double i : index) {
+        if (i >= config.tdm.parallelismThreshold)
+            ++point.highParallelismDevices;
+    }
+
+    const WiringCounts google = dedicatedWiringCounts(
+        point.qubits, point.couplers, config.cost);
+    const WiringCounts ours = multiplexedWiringCountsAnalytic(
+        point.qubits, point.couplers, config.fdm.lineCapacity,
+        point.highParallelismDevices, config.cost);
+    point.googleCoax = google.coax();
+    point.youtiaoCoax = ours.coax();
+    point.googleCostUsd = wiringCostUsd(google, config.cost);
+    point.youtiaoCostUsd = wiringCostUsd(ours, config.cost);
+    return point;
+}
+
+std::vector<ScalePoint>
+sweepSquareSystems(const std::vector<std::size_t> &sizes,
+                   const YoutiaoConfig &config)
+{
+    std::vector<ScalePoint> points;
+    points.reserve(sizes.size());
+    for (std::size_t n : sizes)
+        points.push_back(estimateSquareSystem(n, config));
+    return points;
+}
+
+ChipletComparison
+compareIbmChiplet(std::size_t copies, const YoutiaoConfig &config)
+{
+    requireConfig(copies >= 1, "need at least one chiplet");
+    // A 4x5-cell heavy honeycomb: 135 qubits, the closest heavy-hex
+    // tiling to IBM's 133-qubit chips.
+    const ChipTopology chiplet =
+        makeHeavy(makeHexagon(4, 5), BuilderOptions{});
+
+    ChipletComparison cmp;
+    cmp.copies = copies;
+    cmp.qubitsPerChiplet = chiplet.qubitCount();
+    cmp.totalQubits = copies * chiplet.qubitCount();
+
+    std::size_t high = 0;
+    for (double i : parallelismIndices(chiplet)) {
+        if (i >= config.tdm.parallelismThreshold)
+            ++high;
+    }
+    const WiringCounts ibm = dedicatedWiringCounts(
+        chiplet.qubitCount(), chiplet.couplerCount(), config.cost);
+    const WiringCounts ours = multiplexedWiringCountsAnalytic(
+        chiplet.qubitCount(), chiplet.couplerCount(),
+        config.fdm.lineCapacity, high, config.cost);
+    cmp.ibmCoax = copies * ibm.coax();
+    cmp.youtiaoCoax = copies * ours.coax();
+    return cmp;
+}
+
+} // namespace youtiao

@@ -1,0 +1,112 @@
+#include "core/youtiao.hpp"
+
+#include "common/error.hpp"
+#include "noise/equivalent_distance.hpp"
+
+namespace youtiao {
+
+YoutiaoDesigner::YoutiaoDesigner(YoutiaoConfig config)
+    : config_(std::move(config))
+{}
+
+YoutiaoDesign
+YoutiaoDesigner::design(const ChipTopology &chip,
+                        const ChipCharacterization &data) const
+{
+    const CrosstalkModel xy = CrosstalkModel::fit(data.xySamples,
+                                                  config_.fit);
+    const CrosstalkModel zz = CrosstalkModel::fit(data.zzSamples,
+                                                  config_.fit);
+    return designWithModels(chip, xy, zz);
+}
+
+YoutiaoDesign
+YoutiaoDesigner::designWithModels(const ChipTopology &chip,
+                                  const CrosstalkModel &xy_model,
+                                  const CrosstalkModel &zz_model) const
+{
+    YoutiaoDesign out;
+    out.xyModel = xy_model;
+    out.zzModel = zz_model;
+    return finishDesign(chip, xy_model.predictQubitMatrix(chip),
+                        zz_model.predictQubitMatrix(chip),
+                        xy_model.wPhy(), std::move(out));
+}
+
+YoutiaoDesign
+YoutiaoDesigner::designFromMeasurements(const ChipTopology &chip,
+                                        const ChipCharacterization &data,
+                                        double w_phy) const
+{
+    requireConfig(data.xyCrosstalk.size() == chip.qubitCount() &&
+                      data.zzCrosstalkMHz.size() == chip.qubitCount(),
+                  "characterization does not match the chip");
+    return finishDesign(chip, data.xyCrosstalk, data.zzCrosstalkMHz,
+                        w_phy, YoutiaoDesign{});
+}
+
+YoutiaoDesign
+YoutiaoDesigner::finishDesign(const ChipTopology &chip,
+                              SymmetricMatrix predicted_xy,
+                              SymmetricMatrix predicted_zz, double w_phy,
+                              YoutiaoDesign out) const
+{
+    requireConfig(chip.qubitCount() > 0, "cannot design an empty chip");
+    out.predictedXy = std::move(predicted_xy);
+    out.predictedZzMHz = std::move(predicted_zz);
+
+    // Equivalent-distance matrix under the chosen weights drives both
+    // FDM grouping and region growth.
+    const SymmetricMatrix d_phy = qubitPhysicalDistanceMatrix(chip);
+    const SymmetricMatrix d_top = qubitTopologicalDistanceMatrix(chip);
+    const SymmetricMatrix d_equiv =
+        equivalentDistanceMatrix(d_phy, d_top, w_phy, 1.0 - w_phy);
+
+    Prng prng(config_.seed);
+    if (chip.qubitCount() > config_.partitionThresholdQubits) {
+        out.partition = generativePartition(chip, d_equiv,
+                                            config_.partition, prng);
+    } else {
+        out.partition.regions.push_back({});
+        out.partition.regionOfQubit.assign(chip.qubitCount(), 0);
+        for (std::size_t q = 0; q < chip.qubitCount(); ++q)
+            out.partition.regions[0].push_back(q);
+        out.partition.seeds.push_back(0);
+    }
+
+    out.xyPlan = groupFdmPartitioned(out.partition, d_equiv, config_.fdm);
+    const NoiseModel noise(config_.noise);
+    out.frequencyPlan = allocateFrequencies(out.xyPlan, out.predictedXy,
+                                            noise, config_.frequency);
+    out.zPlan = groupTdmPartitioned(chip, out.partition, out.predictedZzMHz,
+                                    config_.tdm);
+
+    ReadoutConfig readout_cfg = config_.readout;
+    readout_cfg.feedlineCapacity = config_.cost.readoutFeedCapacity;
+    out.readout = planReadout(d_equiv, readout_cfg);
+    out.readoutPlan.lines = out.readout.feedlines;
+    out.readoutPlan.lineOfQubit = out.readout.feedlineOfQubit;
+
+    out.counts = multiplexedWiringCounts(chip.qubitCount(), out.xyPlan,
+                                         out.zPlan, config_.cost);
+    out.costUsd = wiringCostUsd(out.counts, config_.cost);
+    return out;
+}
+
+FidelityContext
+YoutiaoDesigner::makeFidelityContext(const ChipTopology &chip,
+                                     const YoutiaoDesign &design) const
+{
+    FidelityContext ctx;
+    ctx.noise = NoiseModel(config_.noise);
+    ctx.xyCoupling = design.predictedXy;
+    ctx.zzMHz = design.predictedZzMHz;
+    ctx.frequencyGHz = design.frequencyPlan.frequencyGHz;
+    ctx.fdmLineOfQubit = design.xyPlan.lineOfQubit;
+    ctx.t1Ns.reserve(chip.qubitCount());
+    for (std::size_t q = 0; q < chip.qubitCount(); ++q)
+        ctx.t1Ns.push_back(chip.qubit(q).t1Ns);
+    return ctx;
+}
+
+} // namespace youtiao

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * YoutiaoDesigner: the end-to-end multiplexing-aware wiring pipeline.
+ *
+ * Given a chip and its crosstalk characterization, the designer
+ *  1. fits XY and ZZ crosstalk models (Section 4.1),
+ *  2. partitions the chip into multiplexing regions (Section 4.4),
+ *  3. groups qubits onto FDM XY lines and allocates frequencies
+ *     (Section 4.2),
+ *  4. groups qubits and couplers onto TDM Z lines behind 1:2 / 1:4
+ *     cryo-DEMUXes (Section 4.3),
+ *  5. multiplexes readout feedlines, and
+ *  6. tallies the physical resources and dollar cost.
+ */
+
+#ifndef YOUTIAO_CORE_YOUTIAO_HPP
+#define YOUTIAO_CORE_YOUTIAO_HPP
+
+#include "chip/topology.hpp"
+#include "common/prng.hpp"
+#include "core/config.hpp"
+#include "noise/crosstalk_data.hpp"
+#include "sim/fidelity_estimator.hpp"
+
+namespace youtiao {
+
+/** Everything the pipeline produces for one chip. */
+struct YoutiaoDesign
+{
+    /** Fitted crosstalk models. */
+    CrosstalkModel xyModel;
+    CrosstalkModel zzModel;
+    /** Model predictions over all qubit pairs. */
+    SymmetricMatrix predictedXy;
+    SymmetricMatrix predictedZzMHz;
+    /** Regions used for grouping (single region for small chips). */
+    ChipPartition partition;
+    /** XY multiplexing. */
+    FdmPlan xyPlan;
+    FrequencyPlan frequencyPlan;
+    /** Z multiplexing. */
+    TdmPlan zPlan;
+    /** Readout multiplexing (capacity = readoutFeedCapacity). */
+    FdmPlan readoutPlan;
+    /** Readout feedlines with resonator frequencies and isolation data. */
+    ReadoutPlan readout;
+    /** Resource tally + cost. */
+    WiringCounts counts;
+    double costUsd = 0.0;
+};
+
+/** The pipeline. */
+class YoutiaoDesigner
+{
+  public:
+    explicit YoutiaoDesigner(YoutiaoConfig config = {});
+
+    const YoutiaoConfig &config() const { return config_; }
+
+    /**
+     * Full pipeline: fit models from @p data, then design the wiring for
+     * @p chip.
+     */
+    YoutiaoDesign design(const ChipTopology &chip,
+                         const ChipCharacterization &data) const;
+
+    /**
+     * Design with pre-fitted models (the Figure 12 transfer experiment:
+     * fit on one chip, wire another).
+     */
+    YoutiaoDesign designWithModels(const ChipTopology &chip,
+                                   const CrosstalkModel &xy_model,
+                                   const CrosstalkModel &zz_model) const;
+
+    /**
+     * Fit-free design: run the grouping/allocation/partition pipeline
+     * directly on measured crosstalk matrices with fixed equivalent-
+     * distance weights (no random-forest stage). Used when calibration
+     * matrices are trusted as-is -- and by the count/cost benches, where
+     * the fit is irrelevant.
+     */
+    YoutiaoDesign designFromMeasurements(const ChipTopology &chip,
+                                         const ChipCharacterization &data,
+                                         double w_phy = 0.6) const;
+
+    /**
+     * Build the fidelity-estimation context for a finished design
+     * (uses the design's frequency allocation, FDM lines and the
+     * characterization's true crosstalk when provided, else predictions).
+     */
+    FidelityContext makeFidelityContext(const ChipTopology &chip,
+                                        const YoutiaoDesign &design) const;
+
+  private:
+    YoutiaoDesign finishDesign(const ChipTopology &chip,
+                               SymmetricMatrix predicted_xy,
+                               SymmetricMatrix predicted_zz, double w_phy,
+                               YoutiaoDesign out) const;
+
+    YoutiaoConfig config_;
+};
+
+} // namespace youtiao
+
+#endif // YOUTIAO_CORE_YOUTIAO_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Greedy graph-coloring utilities.
+ *
+ * TDM grouping (paper Section 4.3) is a constrained coloring problem:
+ * devices that may need to operate in parallel must receive different
+ * colors (DEMUX groups). These helpers provide the generic coloring core;
+ * the multiplex module layers the parallelism-index ordering and capacity
+ * constraints on top.
+ */
+
+#ifndef YOUTIAO_GRAPH_COLORING_HPP
+#define YOUTIAO_GRAPH_COLORING_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace youtiao {
+
+/**
+ * Greedy coloring in the given vertex order: each vertex gets the smallest
+ * color not used by an already-colored neighbour. Returns one color per
+ * vertex. With @p order empty, uses index order.
+ */
+std::vector<std::size_t> greedyColoring(
+    const Graph &conflict, const std::vector<std::size_t> &order = {});
+
+/**
+ * Greedy coloring where each color class holds at most @p capacity
+ * vertices. A vertex skips colors that are full or conflict-adjacent.
+ */
+std::vector<std::size_t> greedyColoringCapped(
+    const Graph &conflict, std::size_t capacity,
+    const std::vector<std::size_t> &order = {});
+
+/** Number of distinct colors in an assignment. */
+std::size_t colorCount(const std::vector<std::size_t> &colors);
+
+/** True when no edge of @p conflict joins two same-colored vertices. */
+bool isProperColoring(const Graph &conflict,
+                      const std::vector<std::size_t> &colors);
+
+/** Vertex order of decreasing degree (Welsh-Powell order). */
+std::vector<std::size_t> degreeDescendingOrder(const Graph &g);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_GRAPH_COLORING_HPP

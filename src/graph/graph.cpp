@@ -1,0 +1,141 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+Graph::Graph(std::size_t vertex_count)
+    : adjacency_(vertex_count)
+{}
+
+std::size_t
+Graph::addVertex()
+{
+    adjacency_.emplace_back();
+    return adjacency_.size() - 1;
+}
+
+std::size_t
+Graph::addEdge(std::size_t u, std::size_t v, double weight)
+{
+    checkVertex(u);
+    checkVertex(v);
+    requireConfig(u != v, "self-loops are not allowed");
+    requireConfig(!hasEdge(u, v),
+                  "duplicate edge (" + std::to_string(u) + ", " +
+                      std::to_string(v) + ")");
+    const std::size_t index = edges_.size();
+    adjacency_[u].push_back(Incidence{v, index});
+    adjacency_[v].push_back(Incidence{u, index});
+    edges_.push_back(Edge{u, v, weight});
+    return index;
+}
+
+bool
+Graph::hasEdge(std::size_t u, std::size_t v) const
+{
+    checkVertex(u);
+    checkVertex(v);
+    const bool u_smaller = adjacency_[u].size() <= adjacency_[v].size();
+    const auto &list = u_smaller ? adjacency_[u] : adjacency_[v];
+    const std::size_t target = u_smaller ? v : u;
+    return std::any_of(list.begin(), list.end(),
+                       [target](const Incidence &inc) {
+                           return inc.vertex == target;
+                       });
+}
+
+double
+Graph::edgeWeight(std::size_t u, std::size_t v) const
+{
+    checkVertex(u);
+    checkVertex(v);
+    for (const Incidence &inc : adjacency_[u]) {
+        if (inc.vertex == v)
+            return edges_[inc.edge].weight;
+    }
+    throw ConfigError("edge (" + std::to_string(u) + ", " +
+                      std::to_string(v) + ") not present");
+}
+
+const std::vector<Incidence> &
+Graph::incidences(std::size_t v) const
+{
+    checkVertex(v);
+    return adjacency_[v];
+}
+
+std::vector<std::size_t>
+Graph::neighbors(std::size_t v) const
+{
+    checkVertex(v);
+    std::vector<std::size_t> out;
+    out.reserve(adjacency_[v].size());
+    for (const Incidence &inc : adjacency_[v])
+        out.push_back(inc.vertex);
+    return out;
+}
+
+std::size_t
+Graph::degree(std::size_t v) const
+{
+    checkVertex(v);
+    return adjacency_[v].size();
+}
+
+const Edge &
+Graph::edge(std::size_t index) const
+{
+    requireConfig(index < edges_.size(), "edge index out of range");
+    return edges_[index];
+}
+
+bool
+Graph::isConnected() const
+{
+    if (adjacency_.empty())
+        return true;
+    const auto labels = connectedComponents();
+    return std::all_of(labels.begin(), labels.end(),
+                       [](std::size_t l) { return l == 0; });
+}
+
+std::vector<std::size_t>
+Graph::connectedComponents() const
+{
+    constexpr std::size_t unvisited = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> label(adjacency_.size(), unvisited);
+    std::size_t next_label = 0;
+    for (std::size_t start = 0; start < adjacency_.size(); ++start) {
+        if (label[start] != unvisited)
+            continue;
+        std::queue<std::size_t> frontier;
+        frontier.push(start);
+        label[start] = next_label;
+        while (!frontier.empty()) {
+            const std::size_t v = frontier.front();
+            frontier.pop();
+            for (const Incidence &inc : adjacency_[v]) {
+                if (label[inc.vertex] == unvisited) {
+                    label[inc.vertex] = next_label;
+                    frontier.push(inc.vertex);
+                }
+            }
+        }
+        ++next_label;
+    }
+    return label;
+}
+
+void
+Graph::checkVertex(std::size_t v) const
+{
+    requireConfig(v < adjacency_.size(),
+                  "vertex " + std::to_string(v) + " out of range");
+}
+
+} // namespace youtiao

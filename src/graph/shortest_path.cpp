@@ -1,0 +1,112 @@
+#include "graph/shortest_path.hpp"
+
+#include <queue>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+namespace {
+
+// Cap multiplicities so n * l cannot overflow even on large lattices where
+// the central pair may have combinatorially many shortest paths.
+constexpr std::size_t kPathCountCap = 1u << 20;
+
+} // namespace
+
+MultiPathResult
+multiPathBfs(const Graph &g, std::size_t source)
+{
+    requireConfig(source < g.vertexCount(), "BFS source out of range");
+    MultiPathResult result;
+    result.hops.assign(g.vertexCount(), kUnreachable);
+    result.pathCount.assign(g.vertexCount(), 0);
+    result.hops[source] = 0;
+    result.pathCount[source] = 1;
+
+    std::queue<std::size_t> frontier;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        const std::size_t v = frontier.front();
+        frontier.pop();
+        for (const Incidence &inc : g.incidences(v)) {
+            const std::size_t n = inc.vertex;
+            if (result.hops[n] == kUnreachable) {
+                result.hops[n] = result.hops[v] + 1;
+                result.pathCount[n] = result.pathCount[v];
+                frontier.push(n);
+            } else if (result.hops[n] == result.hops[v] + 1) {
+                result.pathCount[n] = std::min(
+                    kPathCountCap,
+                    result.pathCount[n] + result.pathCount[v]);
+            }
+        }
+    }
+    return result;
+}
+
+std::size_t
+hopDistance(const Graph &g, std::size_t from, std::size_t to)
+{
+    requireConfig(to < g.vertexCount(), "BFS target out of range");
+    return multiPathBfs(g, from).hops[to];
+}
+
+std::size_t
+multiPathDistance(const Graph &g, std::size_t from, std::size_t to)
+{
+    requireConfig(to < g.vertexCount(), "target out of range");
+    const MultiPathResult bfs = multiPathBfs(g, from);
+    if (bfs.hops[to] == kUnreachable)
+        return kUnreachable;
+    return bfs.hops[to] * bfs.pathCount[to];
+}
+
+std::vector<std::vector<std::size_t>>
+allPairsMultiPathDistance(const Graph &g)
+{
+    std::vector<std::vector<std::size_t>> table(g.vertexCount());
+    for (std::size_t src = 0; src < g.vertexCount(); ++src) {
+        const MultiPathResult bfs = multiPathBfs(g, src);
+        table[src].resize(g.vertexCount());
+        for (std::size_t dst = 0; dst < g.vertexCount(); ++dst) {
+            table[src][dst] = bfs.hops[dst] == kUnreachable
+                                  ? kUnreachable
+                                  : bfs.hops[dst] * bfs.pathCount[dst];
+        }
+    }
+    return table;
+}
+
+std::vector<double>
+dijkstra(const Graph &g, std::size_t source)
+{
+    requireConfig(source < g.vertexCount(), "Dijkstra source out of range");
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(g.vertexCount(), inf);
+    dist[source] = 0.0;
+
+    using Entry = std::pair<double, std::size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+        const auto [d, v] = heap.top();
+        heap.pop();
+        if (d > dist[v])
+            continue;
+        for (const Incidence &inc : g.incidences(v)) {
+            const std::size_t n = inc.vertex;
+            const double w = g.edge(inc.edge).weight;
+            requireConfig(w >= 0.0,
+                          "Dijkstra requires non-negative edge weights");
+            if (dist[v] + w < dist[n]) {
+                dist[n] = dist[v] + w;
+                heap.emplace(dist[n], n);
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace youtiao

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Disjoint-set (union-find) with path compression and union by size.
+ *
+ * Used by the generative chip partition to merge and query routing regions
+ * and by the router's connectivity checks.
+ */
+
+#ifndef YOUTIAO_GRAPH_UNION_FIND_HPP
+#define YOUTIAO_GRAPH_UNION_FIND_HPP
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+/** Disjoint-set forest over the elements [0, size). */
+class UnionFind
+{
+  public:
+    explicit UnionFind(std::size_t size)
+        : parent_(size), size_(size, 1)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    /** Representative of @p x's set (with path compression). */
+    std::size_t
+    find(std::size_t x)
+    {
+        requireConfig(x < parent_.size(), "union-find index out of range");
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    /** Merge the sets of @p a and @p b; returns false if already joined. */
+    bool
+    unite(std::size_t a, std::size_t b)
+    {
+        std::size_t ra = find(a);
+        std::size_t rb = find(b);
+        if (ra == rb)
+            return false;
+        if (size_[ra] < size_[rb])
+            std::swap(ra, rb);
+        parent_[rb] = ra;
+        size_[ra] += size_[rb];
+        return true;
+    }
+
+    /** True when @p a and @p b share a set. */
+    bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+    /** Size of the set containing @p x. */
+    std::size_t setSize(std::size_t x) { return size_[find(x)]; }
+
+  private:
+    std::vector<std::size_t> parent_;
+    std::vector<std::size_t> size_;
+};
+
+} // namespace youtiao
+
+#endif // YOUTIAO_GRAPH_UNION_FIND_HPP

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Two-level coarse-grained frequency allocation (paper Section 4.2).
+ *
+ * The usable band (4-7 GHz) is cut into as many zones as an FDM line
+ * carries qubits; zones are cut into 10 MHz cells. Members of one line
+ * land in distinct zones (large in-line spacing); across lines, qubits in
+ * one zone take distinct cells; a crosstalk-model-guided swap pass then
+ * reduces residual spatial crosstalk, and under frequency crowding cells
+ * are reused by the spatially farthest pairs.
+ */
+
+#ifndef YOUTIAO_MULTIPLEX_FREQUENCY_ALLOCATION_HPP
+#define YOUTIAO_MULTIPLEX_FREQUENCY_ALLOCATION_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "multiplex/fdm.hpp"
+#include "noise/noise_model.hpp"
+
+namespace youtiao {
+
+/** Allocation knobs. */
+struct FrequencyAllocationConfig
+{
+    /** Usable qubit band (GHz). */
+    double loGHz = 4.0;
+    double hiGHz = 7.0;
+    /** Cell granularity (MHz). */
+    double cellMHz = 10.0;
+    /** Local-search passes over intra-group zone swaps. */
+    std::size_t swapPasses = 3;
+};
+
+/** Resulting spectrum assignment. */
+struct FrequencyPlan
+{
+    /** Operating frequency per qubit (GHz). */
+    std::vector<double> frequencyGHz;
+    /** Zone index per qubit. */
+    std::vector<std::size_t> zoneOfQubit;
+    /** Cell index (within its zone) per qubit. */
+    std::vector<std::size_t> cellOfQubit;
+    /** Zones carved from the band (= max FDM group size). */
+    std::size_t zoneCount = 0;
+    /** Estimated total crosstalk cost after allocation (diagnostic). */
+    double crosstalkCost = 0.0;
+};
+
+/**
+ * YOUTIAO's two-level allocation for @p plan. @p predicted_crosstalk is
+ * the fitted model's qubit-pair crosstalk matrix; @p noise supplies the
+ * spectral-overlap weighting used by the swap optimization.
+ */
+FrequencyPlan allocateFrequencies(const FdmPlan &plan,
+                                  const SymmetricMatrix &predicted_crosstalk,
+                                  const NoiseModel &noise,
+                                  const FrequencyAllocationConfig &config
+                                  = {});
+
+/**
+ * Retune-constrained allocation for an already-fabricated chip: transmon
+ * frequencies can only be Z-tuned within a narrow window (the paper cites
+ * ~50 MHz), so each qubit picks the lowest-crosstalk cell inside
+ * base +/- @p max_retune_ghz. Zone separation becomes best-effort -- the
+ * fabrication pattern, not the allocator, provides the in-line spacing.
+ */
+FrequencyPlan allocateFrequenciesConstrained(
+    const FdmPlan &plan, const SymmetricMatrix &predicted_crosstalk,
+    const NoiseModel &noise, const std::vector<double> &base_frequencies,
+    double max_retune_ghz = 0.05,
+    const FrequencyAllocationConfig &config = {});
+
+/**
+ * Largest |allocated - base| over all qubits (GHz): how much retuning a
+ * plan assumes. Design-time plans may assume arbitrary values; plans for
+ * existing chips must stay within the Z-line tuning range.
+ */
+double maxRetuneGHz(const FrequencyPlan &plan,
+                    const std::vector<double> &base_frequencies);
+
+/**
+ * George et al. [13] baseline: optimal in-line spacing (members of each
+ * line spread evenly across the full band) but no inter-line
+ * coordination -- every line reuses the same frequency comb, so nearby
+ * qubits on different lines may collide spectrally.
+ */
+FrequencyPlan allocateFrequenciesInLineOnly(const FdmPlan &plan,
+                                            const FrequencyAllocationConfig
+                                                &config = {});
+
+/**
+ * Unoptimized baseline: qubits keep their fabrication base frequencies
+ * (no multiplexing-aware retuning at all).
+ */
+FrequencyPlan allocateFrequenciesFabrication(
+    const FdmPlan &plan, const std::vector<double> &base_frequencies);
+
+/**
+ * Total spectral-overlap-weighted crosstalk of an assignment:
+ * sum over qubit pairs of crosstalk(i,j) * lorentzian(|f_i - f_j|).
+ * The objective minimized by the swap pass; exposed for tests/benches.
+ */
+double allocationCrosstalkCost(const std::vector<double> &frequency_ghz,
+                               const SymmetricMatrix &predicted_crosstalk,
+                               const NoiseModel &noise);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_MULTIPLEX_FREQUENCY_ALLOCATION_HPP

@@ -1,0 +1,65 @@
+#include "multiplex/parallelism_index.hpp"
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+bool
+gatesConflict(const ChipTopology &chip, std::size_t gate_a,
+              std::size_t gate_b)
+{
+    if (gate_a == gate_b)
+        return false;
+    const CouplerInfo &a = chip.coupler(gate_a);
+    const CouplerInfo &b = chip.coupler(gate_b);
+    return a.qubitA == b.qubitA || a.qubitA == b.qubitB ||
+           a.qubitB == b.qubitA || a.qubitB == b.qubitB;
+}
+
+std::vector<std::size_t>
+gatesOfDevice(const ChipTopology &chip, std::size_t device)
+{
+    requireConfig(device < chip.deviceCount(), "device id out of range");
+    if (chip.deviceKind(device) == DeviceKind::Coupler)
+        return {device - chip.qubitCount()};
+    std::vector<std::size_t> gates;
+    for (const Incidence &inc : chip.qubitGraph().incidences(device))
+        gates.push_back(inc.edge);
+    return gates;
+}
+
+std::vector<double>
+parallelismIndices(const ChipTopology &chip)
+{
+    const std::size_t gate_count = chip.couplerCount();
+
+    // Conflicting-gate count per gate: gates sharing a qubit with gate
+    // (u, v) are exactly the other gates incident to u or v, so the count
+    // is deg(u) + deg(v) - 2 (no parallel couplings exist).
+    const Graph &qg = chip.qubitGraph();
+    std::vector<std::size_t> conflicts(gate_count, 0);
+    for (std::size_t g = 0; g < gate_count; ++g) {
+        const Edge &e = qg.edge(g);
+        conflicts[g] = qg.degree(e.u) + qg.degree(e.v) - 2;
+    }
+
+    std::vector<double> index(chip.deviceCount(), 0.0);
+    for (std::size_t dev = 0; dev < chip.deviceCount(); ++dev) {
+        const auto gates = gatesOfDevice(chip, dev);
+        if (gates.empty())
+            continue; // isolated qubit: nothing to block
+        double sum = 0.0;
+        for (std::size_t g : gates)
+            sum += static_cast<double>(conflicts[g]);
+        // Coupler connectivity is defined as 1; for a qubit it is the
+        // number of incident gates.
+        const double connectivity =
+            chip.deviceKind(dev) == DeviceKind::Coupler
+                ? 1.0
+                : static_cast<double>(gates.size());
+        index[dev] = sum / connectivity;
+    }
+    return index;
+}
+
+} // namespace youtiao

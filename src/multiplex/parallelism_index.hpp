@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Parallelism index (paper Section 4.3).
+ *
+ * Every chip coupling is a potential two-qubit gate q_a - c - q_b needing
+ * simultaneous Z control of q_a, q_b and c. The parallelism index of a
+ * device measures how many neighbouring two-qubit gates are blocked when
+ * the device is busy:
+ *
+ *   index(d) = sum over gates g using d of |gates conflicting with g|
+ *              / connectivity(d)
+ *
+ * where two gates conflict when they share a qubit, and a coupler's
+ * connectivity is defined as 1. Devices above a threshold theta need more
+ * gate freedom and get shallow 1:2 DEMUXes; the rest multiplex 1:4.
+ */
+
+#ifndef YOUTIAO_MULTIPLEX_PARALLELISM_INDEX_HPP
+#define YOUTIAO_MULTIPLEX_PARALLELISM_INDEX_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "chip/topology.hpp"
+
+namespace youtiao {
+
+/**
+ * Parallelism index per device id (qubits [0, Q) then couplers [Q, Q+C)).
+ * Devices touching no gate (isolated qubits) get index 0.
+ */
+std::vector<double> parallelismIndices(const ChipTopology &chip);
+
+/**
+ * True when gates (couplers) @p gate_a and @p gate_b conflict
+ * topologically, i.e. share an endpoint qubit.
+ */
+bool gatesConflict(const ChipTopology &chip, std::size_t gate_a,
+                   std::size_t gate_b);
+
+/** Gate (coupler) indices using device @p device: a coupler uses only its
+ *  own gate; a qubit uses every incident coupling. */
+std::vector<std::size_t> gatesOfDevice(const ChipTopology &chip,
+                                       std::size_t device);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_MULTIPLEX_PARALLELISM_INDEX_HPP

@@ -1,0 +1,96 @@
+#include "multiplex/readout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+namespace {
+
+/** Lorentzian power bleed of a probe detuned by df from a resonator. */
+double
+bleedFraction(double df_ghz, const ReadoutConfig &config)
+{
+    const double x = 2.0 * df_ghz / config.resonatorLinewidthGHz;
+    return 1.0 / (1.0 + x * x);
+}
+
+} // namespace
+
+ReadoutPlan
+planReadout(const SymmetricMatrix &d_equiv, const ReadoutConfig &config)
+{
+    requireConfig(config.feedlineCapacity >= 1,
+                  "feedline capacity must be positive");
+    requireConfig(config.hiGHz > config.loGHz, "empty readout band");
+
+    FdmGroupingConfig grouping;
+    grouping.lineCapacity = config.feedlineCapacity;
+    const FdmPlan groups = groupFdm(d_equiv, grouping);
+
+    ReadoutPlan plan;
+    plan.feedlines = groups.lines;
+    plan.feedlineOfQubit = groups.lineOfQubit;
+    plan.resonatorGHz.assign(d_equiv.size(), 0.0);
+    const double band = config.hiGHz - config.loGHz;
+    for (const auto &line : plan.feedlines) {
+        const auto m = static_cast<double>(line.size());
+        for (std::size_t k = 0; k < line.size(); ++k) {
+            // Even spread with half-slot guard bands at the edges.
+            plan.resonatorGHz[line[k]] =
+                config.loGHz +
+                (static_cast<double>(k) + 0.5) * band / m;
+        }
+    }
+    return plan;
+}
+
+double
+worstChannelCrosstalkDb(const ReadoutPlan &plan,
+                        const ReadoutConfig &config)
+{
+    double worst = 0.0; // fraction
+    for (const auto &line : plan.feedlines) {
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            for (std::size_t j = i + 1; j < line.size(); ++j) {
+                const double df =
+                    std::abs(plan.resonatorGHz[line[i]] -
+                             plan.resonatorGHz[line[j]]);
+                worst = std::max(worst, bleedFraction(df, config));
+            }
+        }
+    }
+    if (worst <= 0.0)
+        return -300.0; // effectively perfect isolation
+    return 10.0 * std::log10(worst);
+}
+
+bool
+meetsIsolation(const ReadoutPlan &plan, const ReadoutConfig &config)
+{
+    return worstChannelCrosstalkDb(plan, config) <= -config.isolationDb;
+}
+
+std::vector<double>
+singleShotFidelities(const ReadoutPlan &plan, const ReadoutConfig &config)
+{
+    std::vector<double> fidelities(plan.feedlineOfQubit.size(), 1.0);
+    for (const auto &line : plan.feedlines) {
+        for (std::size_t q : line) {
+            double error = config.intrinsicAssignmentError;
+            for (std::size_t other : line) {
+                if (other == q)
+                    continue;
+                const double df = std::abs(plan.resonatorGHz[q] -
+                                           plan.resonatorGHz[other]);
+                error += bleedFraction(df, config);
+            }
+            fidelities[q] = 1.0 - std::min(error, 1.0);
+        }
+    }
+    return fidelities;
+}
+
+} // namespace youtiao

@@ -1,0 +1,111 @@
+#include "noise/crosstalk_data.hpp"
+
+#include <cmath>
+
+#include "noise/equivalent_distance.hpp"
+
+namespace youtiao {
+
+CrosstalkGroundTruth
+xyGroundTruth()
+{
+    CrosstalkGroundTruth t;
+    // Calibrated so that a well-tuned chip reaches the paper's 99.98%
+    // shared-line 1q fidelity while fabrication-frequency collisions
+    // reproduce its whole-chip fidelity collapse (Figure 13 (b)).
+    t.amplitude = 5e-3;   // spectator flip probability at zero distance
+    t.wPhy = 0.6;
+    t.wTop = 0.4;
+    t.decay = 0.55;
+    t.noiseSigma = 0.12;
+    t.outlierProbability = 0.01;
+    t.outlierFactor = 4.0;
+    t.floor = 1e-6;
+    return t;
+}
+
+CrosstalkGroundTruth
+zzGroundTruth()
+{
+    CrosstalkGroundTruth t;
+    // Residual ZZ with tunable couplers idled: ~0.1 MHz between
+    // neighbours, decaying fast with separation.
+    t.amplitude = 0.3;    // MHz dispersive shift at zero distance
+    t.wPhy = 0.6;
+    t.wTop = 0.4;
+    t.decay = 0.8;        // ZZ falls off faster than XY drive leakage
+    t.noiseSigma = 0.10;
+    t.outlierProbability = 0.008;
+    t.outlierFactor = 3.0;
+    t.floor = 1e-5;
+    return t;
+}
+
+double
+groundTruthValue(const CrosstalkGroundTruth &truth, double d_phy,
+                 double d_top)
+{
+    const double d_equiv = truth.wPhy * d_phy + truth.wTop * d_top;
+    const double value = truth.amplitude * std::exp(-truth.decay * d_equiv);
+    return std::max(value, truth.floor);
+}
+
+namespace {
+
+double
+noisyMeasurement(const CrosstalkGroundTruth &truth, double d_phy,
+                 double d_top, Prng &prng)
+{
+    double value = groundTruthValue(truth, d_phy, d_top);
+    value *= std::exp(prng.gaussian(0.0, truth.noiseSigma));
+    if (prng.bernoulli(truth.outlierProbability))
+        value *= truth.outlierFactor;
+    return std::max(value, truth.floor);
+}
+
+} // namespace
+
+ChipCharacterization
+characterizeChip(const ChipTopology &chip, const CrosstalkGroundTruth &xy,
+                 const CrosstalkGroundTruth &zz, Prng &prng)
+{
+    const std::size_t n = chip.qubitCount();
+    ChipCharacterization data;
+    data.xyCrosstalk = SymmetricMatrix(n);
+    data.zzCrosstalkMHz = SymmetricMatrix(n);
+    const SymmetricMatrix d_phy = qubitPhysicalDistanceMatrix(chip);
+    const SymmetricMatrix d_top = qubitTopologicalDistanceMatrix(chip);
+
+    data.xySamples.reserve(n * (n - 1) / 2);
+    data.zzSamples.reserve(n * (n - 1) / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            CrosstalkSample sample;
+            sample.qubitA = i;
+            sample.qubitB = j;
+            sample.physicalDistance = d_phy(i, j);
+            sample.topologicalDistance = d_top(i, j);
+
+            sample.value = noisyMeasurement(xy, sample.physicalDistance,
+                                            sample.topologicalDistance,
+                                            prng);
+            data.xyCrosstalk(i, j) = sample.value;
+            data.xySamples.push_back(sample);
+
+            sample.value = noisyMeasurement(zz, sample.physicalDistance,
+                                            sample.topologicalDistance,
+                                            prng);
+            data.zzCrosstalkMHz(i, j) = sample.value;
+            data.zzSamples.push_back(sample);
+        }
+    }
+    return data;
+}
+
+ChipCharacterization
+characterizeChip(const ChipTopology &chip, Prng &prng)
+{
+    return characterizeChip(chip, xyGroundTruth(), zzGroundTruth(), prng);
+}
+
+} // namespace youtiao

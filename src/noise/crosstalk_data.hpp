@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Synthetic chip crosstalk characterization.
+ *
+ * The paper collects XY crosstalk (probability of energy-level transitions
+ * on uncontrolled spectator qubits while gating a target) and ZZ crosstalk
+ * (frequency shift of uncontrolled qubits) from two self-developed Xmon
+ * chips. Those chips are not available, so this module plays the role of
+ * the measurement apparatus: it synthesizes per-pair calibration data from
+ * a hidden ground-truth law of exactly the structure the paper's
+ * Observation 1 posits -- crosstalk decays exponentially with an
+ * equivalent distance blending physical and topological separation -- plus
+ * measurement noise and rare TLS-defect outliers.
+ *
+ * The fitting pipeline (crosstalk_model) never sees the ground-truth
+ * parameters; it must recover them from the samples, as it would on a real
+ * chip.
+ */
+
+#ifndef YOUTIAO_NOISE_CROSSTALK_DATA_HPP
+#define YOUTIAO_NOISE_CROSSTALK_DATA_HPP
+
+#include <vector>
+
+#include "chip/topology.hpp"
+#include "common/matrix.hpp"
+#include "common/prng.hpp"
+
+namespace youtiao {
+
+/** One measured qubit pair: features (distances) and crosstalk readings. */
+struct CrosstalkSample
+{
+    std::size_t qubitA = 0;
+    std::size_t qubitB = 0;
+    /** Euclidean separation (mm). */
+    double physicalDistance = 0.0;
+    /** Multi-path topological distance n * l. */
+    double topologicalDistance = 0.0;
+    /** Measured crosstalk magnitude (see ChipCharacterization). */
+    double value = 0.0;
+};
+
+/** Hidden parameters of the synthetic chip's crosstalk law. */
+struct CrosstalkGroundTruth
+{
+    /** Crosstalk magnitude extrapolated to zero equivalent distance. */
+    double amplitude = 2e-2;
+    /** True blending weights the fit should approximately recover. */
+    double wPhy = 0.6;
+    double wTop = 0.4;
+    /** Exponential decay rate per unit equivalent distance. */
+    double decay = 0.55;
+    /** Multiplicative log-normal measurement noise (sigma of log). */
+    double noiseSigma = 0.12;
+    /** Probability that a pair is inflated by a TLS defect. */
+    double outlierProbability = 0.01;
+    /** Outlier inflation factor. */
+    double outlierFactor = 4.0;
+    /** Values below this floor read as the measurement noise floor. */
+    double floor = 1e-6;
+};
+
+/** Default ground truth for XY crosstalk (spectator transition prob.). */
+CrosstalkGroundTruth xyGroundTruth();
+
+/** Default ground truth for ZZ crosstalk (spectator shift, MHz). */
+CrosstalkGroundTruth zzGroundTruth();
+
+/** The calibration dataset produced for one chip. */
+struct ChipCharacterization
+{
+    /** XY crosstalk per qubit pair: spectator transition probability. */
+    SymmetricMatrix xyCrosstalk;
+    /** ZZ crosstalk per qubit pair: spectator frequency shift (MHz). */
+    SymmetricMatrix zzCrosstalkMHz;
+    /** Flat sample lists (all unordered pairs) for model fitting. */
+    std::vector<CrosstalkSample> xySamples;
+    std::vector<CrosstalkSample> zzSamples;
+};
+
+/**
+ * "Measure" a chip: evaluate the hidden law on every qubit pair with noise
+ * and outliers. Deterministic given the prng state.
+ */
+ChipCharacterization characterizeChip(const ChipTopology &chip,
+                                      const CrosstalkGroundTruth &xy,
+                                      const CrosstalkGroundTruth &zz,
+                                      Prng &prng);
+
+/** Convenience overload using the default XY/ZZ ground truths. */
+ChipCharacterization characterizeChip(const ChipTopology &chip, Prng &prng);
+
+/**
+ * The noise-free value of the hidden law for a pair at the given
+ * distances. Exposed so tests can verify recovery quality.
+ */
+double groundTruthValue(const CrosstalkGroundTruth &truth, double d_phy,
+                        double d_top);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_NOISE_CROSSTALK_DATA_HPP

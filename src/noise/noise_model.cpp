@@ -1,0 +1,68 @@
+#include "noise/noise_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace youtiao {
+
+NoiseModel::NoiseModel(NoiseModelConfig config)
+    : config_(config)
+{
+    requireConfig(config_.driveLinewidthGHz > 0.0 &&
+                      config_.filterLinewidthGHz > 0.0,
+                  "linewidths must be positive");
+}
+
+double
+NoiseModel::spectralOverlap(double detuning_ghz) const
+{
+    const double x = 2.0 * detuning_ghz / config_.driveLinewidthGHz;
+    return 1.0 / (1.0 + x * x);
+}
+
+double
+NoiseModel::simultaneousDriveError(double coupling,
+                                   double detuning_ghz) const
+{
+    return std::clamp(coupling * spectralOverlap(detuning_ghz), 0.0, 0.5);
+}
+
+double
+NoiseModel::sharedLineLeakage(double detuning_ghz) const
+{
+    const double x = 2.0 * detuning_ghz / config_.filterLinewidthGHz;
+    return std::clamp(config_.sharedLineLeakAmplitude / (1.0 + x * x), 0.0,
+                      0.5);
+}
+
+double
+NoiseModel::idleError(double duration_ns, double t1_ns) const
+{
+    requireConfig(t1_ns > 0.0, "T1 must be positive");
+    if (duration_ns <= 0.0)
+        return 0.0;
+    return 1.0 - std::exp(-duration_ns / t1_ns);
+}
+
+double
+NoiseModel::zzDephasingError(double zz_mhz, double duration_ns) const
+{
+    // Accumulated conditional phase: phi = 2*pi * zz * t (zz in GHz).
+    const double zz_ghz = zz_mhz * units::MHz;
+    const double phi = 2.0 * std::numbers::pi * zz_ghz * duration_ns;
+    const double half = 0.5 * phi;
+    // Small-angle dephasing error sin^2(phi/2), clamped for large shifts.
+    return std::min(0.5, half * half);
+}
+
+double
+NoiseModel::combine(double e1, double e2)
+{
+    return 1.0 - (1.0 - e1) * (1.0 - e2);
+}
+
+} // namespace youtiao

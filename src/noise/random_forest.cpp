@@ -1,0 +1,50 @@
+#include "noise/random_forest.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+RandomForest::RandomForest(RandomForestConfig config)
+    : config_(config)
+{
+    requireConfig(config_.treeCount >= 1, "forest needs at least one tree");
+    requireConfig(config_.bootstrapFraction > 0.0 &&
+                      config_.bootstrapFraction <= 1.0,
+                  "bootstrapFraction must be in (0, 1]");
+}
+
+void
+RandomForest::fit(std::span<const double> features,
+                  std::size_t feature_count,
+                  std::span<const double> targets, Prng &prng)
+{
+    requireConfig(!targets.empty(), "cannot fit on zero samples");
+    const std::size_t n = targets.size();
+    const auto draw_count = static_cast<std::size_t>(
+        std::ceil(config_.bootstrapFraction * static_cast<double>(n)));
+
+    trees_.clear();
+    trees_.reserve(config_.treeCount);
+    std::vector<std::size_t> bag(draw_count);
+    for (std::size_t t = 0; t < config_.treeCount; ++t) {
+        for (std::size_t k = 0; k < draw_count; ++k)
+            bag[k] = prng.uniformInt(n);
+        DecisionTree tree(config_.tree);
+        tree.fit(features, feature_count, targets, bag);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+RandomForest::predict(std::span<const double> row) const
+{
+    requireConfig(trained(), "predict() before fit()");
+    double sum = 0.0;
+    for (const DecisionTree &tree : trees_)
+        sum += tree.predict(row);
+    return sum / static_cast<double>(trees_.size());
+}
+
+} // namespace youtiao

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Bootstrap-aggregated regression forest.
+ *
+ * The paper fits the crosstalk-vs-equivalent-distance relationship with a
+ * random forest; this is that estimator, built on DecisionTree. With the
+ * low-dimensional feature spaces used here (1-2 features), randomization
+ * comes from bootstrap resampling rather than feature subsetting.
+ */
+
+#ifndef YOUTIAO_NOISE_RANDOM_FOREST_HPP
+#define YOUTIAO_NOISE_RANDOM_FOREST_HPP
+
+#include <span>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "noise/decision_tree.hpp"
+
+namespace youtiao {
+
+/** Hyper-parameters of the forest. */
+struct RandomForestConfig
+{
+    std::size_t treeCount = 40;
+    DecisionTreeConfig tree;
+    /** Fraction of samples drawn (with replacement) per tree. */
+    double bootstrapFraction = 1.0;
+};
+
+/** Averaging ensemble of bootstrap-trained regression trees. */
+class RandomForest
+{
+  public:
+    explicit RandomForest(RandomForestConfig config = {});
+
+    /**
+     * Fit @p tree_count trees on bootstrap resamples of the training set.
+     * Deterministic given @p prng.
+     */
+    void fit(std::span<const double> features, std::size_t feature_count,
+             std::span<const double> targets, Prng &prng);
+
+    /** Mean prediction across trees for one feature row. */
+    double predict(std::span<const double> row) const;
+
+    bool trained() const { return !trees_.empty(); }
+    std::size_t treeCount() const { return trees_.size(); }
+
+  private:
+    RandomForestConfig config_;
+    std::vector<DecisionTree> trees_;
+};
+
+} // namespace youtiao
+
+#endif // YOUTIAO_NOISE_RANDOM_FOREST_HPP

@@ -1,0 +1,160 @@
+#include "routing/astar_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+namespace {
+
+/** Admissible heuristic: Manhattan distance scaled below the cheapest
+ *  per-step cost (same-net reuse costs 0.02). */
+double
+heuristic(const Cell &a, const Cell &b)
+{
+    const double dx = a.x > b.x ? static_cast<double>(a.x - b.x)
+                                : static_cast<double>(b.x - a.x);
+    const double dy = a.y > b.y ? static_cast<double>(a.y - b.y)
+                                : static_cast<double>(b.y - a.y);
+    return 0.01 * (dx + dy);
+}
+
+constexpr int kDirCount = 4;
+constexpr long kMoves[kDirCount][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+
+} // namespace
+
+std::optional<RoutedPath>
+routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
+           const AstarConfig &config)
+{
+    requireConfig(net_id >= 0, "net id must be non-negative");
+    const std::size_t w = grid.width();
+    const std::size_t h = grid.height();
+    auto flat = [w](const Cell &c) { return c.y * w + c.x; };
+
+    auto mine_or_free = [&](const Cell &c) {
+        const std::int32_t o = grid.owner(c);
+        return o == RoutingGrid::kFree || o == net_id;
+    };
+    // Endpoints must be plain cells; a bridge cannot start or end a path.
+    if (!mine_or_free(from) || !mine_or_free(to))
+        return std::nullopt;
+
+    // Search state: (cell, incoming direction). Direction matters only on
+    // foreign metal, where a bridge forces straight continuation.
+    const std::size_t state_count = w * h * kDirCount;
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> g_cost(state_count, inf);
+    std::vector<bool> closed(state_count, false);
+    constexpr std::uint32_t no_parent =
+        std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> parent(state_count, no_parent);
+
+    using Entry = std::pair<double, std::uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+    // Seed: leaving the start cell in any direction.
+    for (int d = 0; d < kDirCount; ++d) {
+        const std::size_t s = flat(from) * kDirCount +
+                              static_cast<std::size_t>(d);
+        g_cost[s] = 0.0;
+        open.emplace(heuristic(from, to), static_cast<std::uint32_t>(s));
+    }
+
+    std::uint32_t goal_state = no_parent;
+    while (!open.empty()) {
+        const auto [f, state] = open.top();
+        open.pop();
+        (void)f;
+        if (closed[state])
+            continue;
+        closed[state] = true;
+        const std::size_t idx = state / kDirCount;
+        const int dir_in = static_cast<int>(state % kDirCount);
+        const Cell here{idx % w, idx / w};
+        if (here == to) {
+            goal_state = state;
+            break;
+        }
+        const bool on_bridge = !mine_or_free(here);
+        for (int d = 0; d < kDirCount; ++d) {
+            if (on_bridge && d != dir_in)
+                continue; // bridges run straight
+            const long nx = static_cast<long>(here.x) + kMoves[d][0];
+            const long ny = static_cast<long>(here.y) + kMoves[d][1];
+            if (nx < 0 || ny < 0 || nx >= static_cast<long>(w) ||
+                ny >= static_cast<long>(h))
+                continue;
+            const Cell next{static_cast<std::size_t>(nx),
+                            static_cast<std::size_t>(ny)};
+            const std::int32_t owner = grid.owner(next);
+            if (owner == RoutingGrid::kObstacle)
+                continue;
+            double step;
+            if (owner == net_id) {
+                step = 0.02; // trunk reuse is nearly free
+            } else if (owner == RoutingGrid::kFree) {
+                step = 1.0;
+                // Crowding: staying off pad walls keeps alleys open.
+                for (const auto &mv : kMoves) {
+                    const long ax = nx + mv[0];
+                    const long ay = ny + mv[1];
+                    if (ax < 0 || ay < 0 ||
+                        ax >= static_cast<long>(w) ||
+                        ay >= static_cast<long>(h))
+                        continue;
+                    const Cell adj{static_cast<std::size_t>(ax),
+                                   static_cast<std::size_t>(ay)};
+                    if (grid.owner(adj) == RoutingGrid::kObstacle) {
+                        step += config.crowdingPenalty;
+                        break;
+                    }
+                }
+            } else {
+                step = config.bridgeCost; // airbridge crossover
+            }
+            const std::size_t nstate =
+                flat(next) * kDirCount + static_cast<std::size_t>(d);
+            const double cand = g_cost[state] + step;
+            if (!closed[nstate] && cand < g_cost[nstate]) {
+                g_cost[nstate] = cand;
+                parent[nstate] = state;
+                open.emplace(cand + heuristic(next, to),
+                             static_cast<std::uint32_t>(nstate));
+            }
+        }
+    }
+    if (goal_state == no_parent)
+        return std::nullopt;
+
+    RoutedPath path;
+    std::uint32_t state = goal_state;
+    const std::size_t from_idx = flat(from);
+    while (true) {
+        const std::size_t idx = state / kDirCount;
+        path.cells.push_back(Cell{idx % w, idx / w});
+        if (idx == from_idx && parent[state] == no_parent)
+            break;
+        state = parent[state];
+        requireInternal(state != no_parent, "broken A* parent chain");
+    }
+    std::reverse(path.cells.begin(), path.cells.end());
+    for (const Cell &c : path.cells) {
+        const std::int32_t owner = grid.owner(c);
+        if (owner == net_id)
+            continue;
+        if (owner == RoutingGrid::kFree) {
+            grid.setOwner(c, net_id);
+            ++path.newCells;
+        } else {
+            path.crossovers.push_back(Crossover{c, net_id, owner});
+        }
+    }
+    return path;
+}
+
+} // namespace youtiao

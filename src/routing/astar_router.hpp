@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A* maze router over the routing grid.
+ *
+ * Finds shortest 4-connected paths between net terminals. Cells already
+ * owned by the same net are traversable at near-zero cost, so sequential
+ * terminal routing approximates a Steiner tree (trunk reuse) -- exactly
+ * how a shared FDM line daisy-chains its group.
+ *
+ * Cells owned by other nets can be crossed perpendicularly through an
+ * airbridge crossover (standard practice on superconducting chips) at a
+ * high cost: the search state tracks the incoming direction, and while on
+ * foreign metal only straight continuation is allowed. Bridge cells keep
+ * their original owner; the crossing is reported, not claimed.
+ */
+
+#ifndef YOUTIAO_ROUTING_ASTAR_ROUTER_HPP
+#define YOUTIAO_ROUTING_ASTAR_ROUTER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "routing/grid.hpp"
+
+namespace youtiao {
+
+/** An airbridge crossover: net @p byNet hops over @p overNet at @p cell. */
+struct Crossover
+{
+    Cell cell;
+    std::int32_t byNet = 0;
+    std::int32_t overNet = 0;
+};
+
+/** One routed path (sequence of adjacent cells, endpoints inclusive). */
+struct RoutedPath
+{
+    std::vector<Cell> cells;
+    /** Number of newly claimed cells (excludes reuse and bridges). */
+    std::size_t newCells = 0;
+    /** Airbridge crossovers used by this path. */
+    std::vector<Crossover> crossovers;
+};
+
+/** Router cost knobs. */
+struct AstarConfig
+{
+    /** Cost of one airbridge crossover cell (>> 1 discourages them). */
+    double bridgeCost = 25.0;
+    /** Extra cost for new metal adjacent to an obstacle (keeps pad
+     *  alleys open for later pins). */
+    double crowdingPenalty = 0.25;
+};
+
+/**
+ * Route @p net_id from @p from to @p to on @p grid. Obstacles are
+ * impassable; other nets' cells may be bridged perpendicularly. On
+ * success the new cells are claimed for the net and the path returned;
+ * on failure nullopt (grid unchanged).
+ */
+std::optional<RoutedPath> routeAstar(RoutingGrid &grid, Cell from, Cell to,
+                                     std::int32_t net_id,
+                                     const AstarConfig &config = {});
+
+} // namespace youtiao
+
+#endif // YOUTIAO_ROUTING_ASTAR_ROUTER_HPP

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Whole-chip control-line routing (paper Section 5.3, chip level).
+ *
+ * Places one interface per net on the chip perimeter (0.5 mm pads), then
+ * routes every net -- XY FDM trunks daisy-chaining their qubit group, Z
+ * TDM lines fanning out to their DEMUX group, readout feedlines -- with
+ * the A* maze router under no-crossing / pitch-spacing rules. Reports
+ * total wire length and routing area (length x 30 um pitch).
+ */
+
+#ifndef YOUTIAO_ROUTING_CHIP_ROUTER_HPP
+#define YOUTIAO_ROUTING_CHIP_ROUTER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "chip/topology.hpp"
+#include "multiplex/fdm.hpp"
+#include "multiplex/tdm.hpp"
+#include "routing/astar_router.hpp"
+#include "routing/grid.hpp"
+
+namespace youtiao {
+
+/** A multi-terminal net to be routed from one perimeter interface. */
+struct NetSpec
+{
+    std::vector<Point> terminals;
+};
+
+/** Router configuration. */
+struct ChipRoutingConfig
+{
+    RoutingGridConfig grid;
+    /** Interface pad width on the perimeter (mm); paper: ~0.5 mm. */
+    double interfaceSpacingMm = 0.5;
+};
+
+/** Aggregate routing metrics. */
+struct ChipRoutingResult
+{
+    std::size_t netCount = 0;
+    /** Terminal connections the router could not complete. */
+    std::size_t failedConnections = 0;
+    /** Total new metal length (mm). */
+    double totalLengthMm = 0.0;
+    /** Routing area: length x line pitch (mm^2). */
+    double routingAreaMm2 = 0.0;
+    /** Perimeter interfaces consumed (= nets). */
+    std::size_t interfaceCount = 0;
+    /** Airbridge crossovers used (cell + the net bridged over). */
+    std::vector<Crossover> crossovers;
+    /** Final occupancy grid (for DRC and inspection). */
+    std::optional<RoutingGrid> grid;
+};
+
+/**
+ * Build the analog net list for a wiring plan: one net per FDM XY line,
+ * one per TDM Z group, one per readout feedline group. Pin points sit
+ * just outside the device keep-out pads (XY west, Z east, readout north,
+ * coupler north), so nets bond at pad edges and never cross pads.
+ */
+std::vector<NetSpec> buildWiringNets(const ChipTopology &chip,
+                                     const FdmPlan &xy_plan,
+                                     const TdmPlan &z_plan,
+                                     const FdmPlan &readout_plan,
+                                     const ChipRoutingConfig &config = {});
+
+/** Route all nets on @p chip. */
+ChipRoutingResult routeChip(const ChipTopology &chip,
+                            const std::vector<NetSpec> &nets,
+                            const ChipRoutingConfig &config = {});
+
+} // namespace youtiao
+
+#endif // YOUTIAO_ROUTING_CHIP_ROUTER_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Design-rule check for routed chips.
+ *
+ * With one grid cell per line pitch, exclusivity of cell ownership already
+ * implies the spacing rule; the checks here verify the invariants the
+ * router promises: single ownership per cell (by construction of the
+ * grid), per-net connectivity, and that no net cell sits inside another
+ * device's keep-out.
+ */
+
+#ifndef YOUTIAO_ROUTING_DRC_HPP
+#define YOUTIAO_ROUTING_DRC_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "routing/astar_router.hpp"
+#include "routing/grid.hpp"
+
+namespace youtiao {
+
+/** Result of a DRC run. */
+struct DrcReport
+{
+    bool clean = true;
+    std::vector<std::string> violations;
+};
+
+/**
+ * Check that every net's claimed cells form one 4-connected component,
+ * where airbridge @p crossovers let the crossing net traverse the bridged
+ * cell. @p net_count bounds the net ids present in the grid.
+ */
+DrcReport checkRoutingDrc(const RoutingGrid &grid, std::size_t net_count,
+                          const std::vector<Crossover> &crossovers = {});
+
+} // namespace youtiao
+
+#endif // YOUTIAO_ROUTING_DRC_HPP

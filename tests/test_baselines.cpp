@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "chip/topology_builder.hpp"
+#include "core/baselines.hpp"
+#include "noise/crosstalk_data.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(Baselines, GoogleDedicatedCounts)
+{
+    const ChipTopology chip = makeSquare();
+    const BaselineDesign design = designGoogleWiring(chip);
+    EXPECT_EQ(design.counts.xyLines, 9u);
+    EXPECT_EQ(design.counts.zLines, 21u);
+    EXPECT_EQ(design.counts.demuxSelectLines, 0u);
+    EXPECT_EQ(design.zPlan.lineCount(), chip.deviceCount());
+    EXPECT_NEAR(design.costUsd, 216e3, 4e3); // paper Table 2
+}
+
+TEST(Baselines, GoogleKeepsFabricationFrequencies)
+{
+    const ChipTopology chip = makeSquare();
+    const BaselineDesign design = designGoogleWiring(chip);
+    for (std::size_t q = 0; q < chip.qubitCount(); ++q)
+        EXPECT_DOUBLE_EQ(design.frequencyPlan.frequencyGHz[q],
+                         chip.qubit(q).baseFrequencyGHz);
+}
+
+TEST(Baselines, GeorgeMultiplexesXyOnly)
+{
+    const ChipTopology chip = makeSquareGrid(4, 4);
+    YoutiaoConfig config;
+    const BaselineDesign design = designGeorgeFdm(chip, config);
+    EXPECT_EQ(design.counts.xyLines,
+              (16 + config.fdm.lineCapacity - 1) / config.fdm.lineCapacity);
+    EXPECT_EQ(design.counts.zLines, chip.deviceCount());
+}
+
+TEST(Baselines, GeorgeUsesInLineComb)
+{
+    const ChipTopology chip = makeSquareGrid(4, 4);
+    const BaselineDesign design = designGeorgeFdm(chip);
+    // First members of two full lines share the same frequency.
+    const auto &l0 = design.xyPlan.lines[0];
+    const auto &l1 = design.xyPlan.lines[1];
+    EXPECT_DOUBLE_EQ(design.frequencyPlan.frequencyGHz[l0[0]],
+                     design.frequencyPlan.frequencyGHz[l1[0]]);
+}
+
+TEST(Baselines, AcharyaMultiplexesZOnly)
+{
+    const ChipTopology chip = makeSquareGrid(4, 4);
+    const BaselineDesign design = designAcharyaTdm(chip);
+    EXPECT_EQ(design.counts.xyLines, 16u); // dedicated XY
+    EXPECT_LT(design.counts.zLines, chip.deviceCount());
+    EXPECT_TRUE(allGatesRealizable(chip, design.zPlan));
+}
+
+TEST(Baselines, AcharyaCheaperThanGoogle)
+{
+    const ChipTopology chip = makeSquareGrid(4, 4);
+    EXPECT_LT(designAcharyaTdm(chip).costUsd,
+              designGoogleWiring(chip).costUsd);
+}
+
+TEST(Baselines, UnoptimizedFdmKeepsBaseFrequencies)
+{
+    const ChipTopology chip = makeSquareGrid(4, 4);
+    const BaselineDesign design = designUnoptimizedFdm(chip);
+    for (std::size_t q = 0; q < chip.qubitCount(); ++q)
+        EXPECT_DOUBLE_EQ(design.frequencyPlan.frequencyGHz[q],
+                         chip.qubit(q).baseFrequencyGHz);
+    EXPECT_GT(design.xyPlan.maxGroupSize(), 1u);
+}
+
+TEST(Baselines, FidelityContextDedicatedXyLines)
+{
+    const ChipTopology chip = makeSquare();
+    Prng prng(3);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    const BaselineDesign google = designGoogleWiring(chip);
+    const FidelityContext ctx = makeBaselineFidelityContext(
+        chip, google, data.xyCrosstalk, data.zzCrosstalkMHz);
+    for (std::size_t line : ctx.fdmLineOfQubit)
+        EXPECT_EQ(line, FidelityContext::kDedicated);
+    EXPECT_EQ(ctx.t1Ns.size(), chip.qubitCount());
+}
+
+TEST(Baselines, FidelityContextSharedLinesForGeorge)
+{
+    const ChipTopology chip = makeSquareGrid(4, 4);
+    Prng prng(4);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    const BaselineDesign george = designGeorgeFdm(chip);
+    const FidelityContext ctx = makeBaselineFidelityContext(
+        chip, george, data.xyCrosstalk, data.zzCrosstalkMHz);
+    EXPECT_EQ(ctx.fdmLineOfQubit, george.xyPlan.lineOfQubit);
+}
+
+TEST(Baselines, ContextRejectsWrongMatrices)
+{
+    const ChipTopology chip = makeSquare();
+    const BaselineDesign google = designGoogleWiring(chip);
+    EXPECT_THROW(makeBaselineFidelityContext(chip, google,
+                                             SymmetricMatrix(4),
+                                             SymmetricMatrix(9)),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace youtiao

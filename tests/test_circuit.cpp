@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(Circuit, AppendAndCount)
+{
+    QuantumCircuit qc(3, "demo");
+    qc.h(0);
+    qc.cz(0, 1);
+    qc.cnot(1, 2);
+    qc.measure(2);
+    EXPECT_EQ(qc.name(), "demo");
+    EXPECT_EQ(qc.gateCount(), 4u);
+    EXPECT_EQ(qc.twoQubitGateCount(), 2u);
+}
+
+TEST(Circuit, RejectsOutOfRangeOperands)
+{
+    QuantumCircuit qc(2);
+    EXPECT_THROW(qc.h(2), ConfigError);
+    EXPECT_THROW(qc.cz(0, 2), ConfigError);
+    EXPECT_THROW(qc.cz(1, 1), ConfigError);
+}
+
+TEST(Circuit, DepthSerialOnOneQubit)
+{
+    QuantumCircuit qc(1);
+    qc.h(0);
+    qc.x(0);
+    qc.rz(0, 0.5);
+    EXPECT_EQ(qc.depth(), 3u);
+}
+
+TEST(Circuit, DepthParallelAcrossQubits)
+{
+    QuantumCircuit qc(4);
+    for (std::size_t q = 0; q < 4; ++q)
+        qc.h(q);
+    EXPECT_EQ(qc.depth(), 1u);
+}
+
+TEST(Circuit, DepthTwoQubitDependencies)
+{
+    QuantumCircuit qc(3);
+    qc.cz(0, 1);
+    qc.cz(1, 2); // depends on qubit 1
+    qc.cz(0, 2); // depends on both
+    EXPECT_EQ(qc.depth(), 3u);
+}
+
+TEST(Circuit, BarrierForcesNewLayer)
+{
+    QuantumCircuit qc(2);
+    qc.h(0);
+    qc.barrier();
+    qc.h(1); // without the barrier this would share layer 0
+    EXPECT_EQ(qc.depth(), 2u);
+}
+
+TEST(Circuit, TwoQubitDepthCountsLayersWithCz)
+{
+    QuantumCircuit qc(4);
+    qc.cz(0, 1);
+    qc.cz(2, 3); // same layer
+    qc.h(0);
+    qc.cz(0, 1); // new layer
+    EXPECT_EQ(qc.twoQubitDepth(), 2u);
+}
+
+TEST(Circuit, TwoQubitDepthZeroForOneQubitCircuit)
+{
+    QuantumCircuit qc(2);
+    qc.h(0);
+    qc.h(1);
+    EXPECT_EQ(qc.twoQubitDepth(), 0u);
+}
+
+TEST(Circuit, EmptyCircuitDepths)
+{
+    QuantumCircuit qc(3);
+    EXPECT_EQ(qc.depth(), 0u);
+    EXPECT_EQ(qc.twoQubitDepth(), 0u);
+}
+
+TEST(Circuit, BasisDetection)
+{
+    QuantumCircuit basis(2);
+    basis.rx(0, 1.0);
+    basis.rz(1, 2.0);
+    basis.cz(0, 1);
+    basis.measure(0);
+    EXPECT_TRUE(basis.isBasisOnly());
+
+    QuantumCircuit logical(2);
+    logical.cnot(0, 1);
+    EXPECT_FALSE(logical.isBasisOnly());
+}
+
+TEST(Circuit, XGateRecordsPiAngle)
+{
+    QuantumCircuit qc(1);
+    qc.x(0);
+    EXPECT_DOUBLE_EQ(qc.gates()[0].angle, std::numbers::pi);
+}
+
+TEST(Circuit, GateKindNames)
+{
+    EXPECT_STREQ(gateKindName(GateKind::CZ), "cz");
+    EXPECT_STREQ(gateKindName(GateKind::Measure), "measure");
+}
+
+TEST(Circuit, GateClassPredicates)
+{
+    EXPECT_TRUE(isTwoQubit(GateKind::CNOT));
+    EXPECT_FALSE(isTwoQubit(GateKind::H));
+    EXPECT_TRUE(usesXyLine(GateKind::RX));
+    EXPECT_FALSE(usesXyLine(GateKind::RZ));
+    EXPECT_FALSE(usesXyLine(GateKind::CZ));
+    EXPECT_TRUE(isBasisGate(GateKind::RZ));
+    EXPECT_FALSE(isBasisGate(GateKind::SWAP));
+}
+
+} // namespace
+} // namespace youtiao
+
+// -- inverse -------------------------------------------------------------
+
+#include "circuit/benchmarks.hpp"
+#include "sim/statevector.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(CircuitInverse, UndoesItself)
+{
+    QuantumCircuit qc(3);
+    qc.h(0);
+    qc.rx(1, 0.7);
+    qc.cz(0, 1);
+    qc.ry(2, -1.1);
+    qc.cnot(1, 2);
+    QuantumCircuit round_trip = qc;
+    const QuantumCircuit inv = qc.inverse();
+    for (const Gate &g : inv.gates())
+        round_trip.append(g);
+    const StateVector identity = simulate(QuantumCircuit(3));
+    EXPECT_NEAR(simulate(round_trip).fidelityWith(identity), 1.0, 1e-10);
+}
+
+TEST(CircuitInverse, QftTimesInverseIsIdentity)
+{
+    QuantumCircuit qft = makeQft(4);
+    // Strip the trailing measurements before inverting.
+    QuantumCircuit unitary(4, "qft");
+    for (const Gate &g : qft.gates()) {
+        if (g.kind != GateKind::Measure)
+            unitary.append(g);
+    }
+    QuantumCircuit round_trip(4);
+    QuantumCircuit prep(4);
+    prep.ry(0, 0.4);
+    prep.ry(2, 1.3);
+    for (const Gate &g : prep.gates())
+        round_trip.append(g);
+    for (const Gate &g : unitary.gates())
+        round_trip.append(g);
+    const QuantumCircuit inv = unitary.inverse();
+    for (const Gate &g : inv.gates())
+        round_trip.append(g);
+    EXPECT_NEAR(simulate(round_trip).fidelityWith(simulate(prep)), 1.0,
+                1e-9);
+}
+
+TEST(CircuitInverse, MeasuredCircuitThrows)
+{
+    QuantumCircuit qc(1);
+    qc.measure(0);
+    EXPECT_THROW(qc.inverse(), ConfigError);
+}
+
+TEST(CircuitInverse, NameMarksInverse)
+{
+    QuantumCircuit qc(1, "probe");
+    qc.h(0);
+    EXPECT_EQ(qc.inverse().name(), "probe^-1");
+}
+
+} // namespace
+} // namespace youtiao

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "noise/decision_tree.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(DecisionTree, ConstantTargetGivesConstantLeaf)
+{
+    DecisionTree tree;
+    const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+    const std::vector<double> y(6, 3.5);
+    tree.fit(x, 1, y);
+    EXPECT_DOUBLE_EQ(tree.predict({&x[0], 1}), 3.5);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+}
+
+TEST(DecisionTree, LearnsStepFunction)
+{
+    DecisionTree tree;
+    std::vector<double> x, y;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back(i);
+        y.push_back(i < 10 ? 1.0 : 5.0);
+    }
+    tree.fit(x, 1, y);
+    const double lo = 2.0, hi = 15.0;
+    EXPECT_NEAR(tree.predict({&lo, 1}), 1.0, 1e-9);
+    EXPECT_NEAR(tree.predict({&hi, 1}), 5.0, 1e-9);
+}
+
+TEST(DecisionTree, ApproximatesSmoothFunction)
+{
+    DecisionTreeConfig cfg;
+    cfg.maxDepth = 10;
+    cfg.minSamplesLeaf = 2;
+    cfg.minSamplesSplit = 4;
+    DecisionTree tree(cfg);
+    std::vector<double> x, y;
+    for (int i = 0; i < 200; ++i) {
+        const double v = i / 20.0;
+        x.push_back(v);
+        y.push_back(std::exp(-v));
+    }
+    tree.fit(x, 1, y);
+    double max_err = 0.0;
+    for (int i = 0; i < 200; ++i)
+        max_err = std::max(max_err,
+                           std::abs(tree.predict({&x[i], 1}) - y[i]));
+    EXPECT_LT(max_err, 0.1);
+}
+
+TEST(DecisionTree, TwoFeatureSplit)
+{
+    // Target depends only on feature 1; tree must pick it.
+    DecisionTree tree;
+    std::vector<double> x, y;
+    Prng prng(3);
+    for (int i = 0; i < 50; ++i) {
+        x.push_back(prng.uniform());        // irrelevant feature 0
+        const double f1 = prng.uniform();
+        x.push_back(f1);
+        y.push_back(f1 > 0.5 ? 10.0 : -10.0);
+    }
+    tree.fit(x, 2, y);
+    const double row_hi[2] = {0.5, 0.9};
+    const double row_lo[2] = {0.5, 0.1};
+    EXPECT_GT(tree.predict(row_hi), 5.0);
+    EXPECT_LT(tree.predict(row_lo), -5.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth)
+{
+    DecisionTreeConfig cfg;
+    cfg.maxDepth = 2;
+    cfg.minSamplesLeaf = 1;
+    cfg.minSamplesSplit = 2;
+    DecisionTree tree(cfg);
+    std::vector<double> x, y;
+    for (int i = 0; i < 64; ++i) {
+        x.push_back(i);
+        y.push_back(i);
+    }
+    tree.fit(x, 1, y);
+    EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf)
+{
+    DecisionTreeConfig cfg;
+    cfg.minSamplesLeaf = 5;
+    cfg.minSamplesSplit = 10;
+    DecisionTree tree(cfg);
+    std::vector<double> x{1, 2, 3, 4, 5, 6};
+    std::vector<double> y{0, 0, 0, 1, 1, 1};
+    tree.fit(x, 1, y);
+    // 6 samples cannot split into two leaves of >= 5.
+    EXPECT_EQ(tree.nodeCount(), 1u);
+}
+
+TEST(DecisionTree, BaggingSubsetUsed)
+{
+    DecisionTree tree;
+    std::vector<double> x{0, 1, 2, 3, 4, 5, 6, 7};
+    std::vector<double> y{0, 0, 0, 0, 9, 9, 9, 9};
+    // Restrict to the low half only: prediction everywhere ~0.
+    tree.fit(x, 1, y, {0, 1, 2, 3});
+    const double probe = 7.0;
+    EXPECT_DOUBLE_EQ(tree.predict({&probe, 1}), 0.0);
+}
+
+TEST(DecisionTree, ErrorsOnBadInput)
+{
+    DecisionTree tree;
+    std::vector<double> x{1, 2};
+    std::vector<double> y{1};
+    EXPECT_THROW(tree.fit(x, 2, {}), ConfigError);
+    EXPECT_THROW(tree.fit(x, 3, y), ConfigError);
+    EXPECT_THROW(tree.predict({&x[0], 1}), ConfigError);
+    DecisionTreeConfig bad;
+    bad.minSamplesLeaf = 4;
+    bad.minSamplesSplit = 4;
+    EXPECT_THROW(DecisionTree{bad}, ConfigError);
+}
+
+TEST(DecisionTree, PredictWrongWidthThrows)
+{
+    DecisionTree tree;
+    std::vector<double> x{1, 2, 3, 4, 5, 6};
+    std::vector<double> y{1, 2, 3, 4, 5, 6};
+    tree.fit(x, 1, y);
+    const double row[2] = {1.0, 2.0};
+    EXPECT_THROW(tree.predict(row), ConfigError);
+}
+
+TEST(DecisionTree, EqualFeatureValuesNotSplit)
+{
+    DecisionTree tree;
+    std::vector<double> x(10, 1.0); // all identical
+    std::vector<double> y{0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+    tree.fit(x, 1, y);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    const double probe = 1.0;
+    EXPECT_DOUBLE_EQ(tree.predict({&probe, 1}), 0.5);
+}
+
+} // namespace
+} // namespace youtiao

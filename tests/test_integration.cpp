@@ -1,0 +1,303 @@
+/**
+ * End-to-end integration tests exercising the whole stack the way the
+ * benches do: characterize -> fit -> design -> transpile -> schedule ->
+ * estimate fidelity, for YOUTIAO and every baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/surface_code_layout.hpp"
+#include "chip/topology_builder.hpp"
+#include "circuit/benchmarks.hpp"
+#include "circuit/transpiler.hpp"
+#include "core/baselines.hpp"
+#include "core/youtiao.hpp"
+#include "multiplex/tdm_scheduler.hpp"
+
+namespace youtiao {
+namespace {
+
+struct World
+{
+    ChipTopology chip = makeSquareGrid(4, 4);
+    ChipCharacterization data;
+    YoutiaoConfig config;
+    YoutiaoDesign ours;
+    BaselineDesign google;
+    BaselineDesign acharya;
+
+    World()
+    {
+        Prng prng(2024);
+        data = characterizeChip(chip, prng);
+        config.fit.forest.treeCount = 15;
+        const YoutiaoDesigner designer(config);
+        ours = designer.design(chip, data);
+        google = designGoogleWiring(chip, config, &data.xyCrosstalk);
+        acharya = designAcharyaTdm(chip, config, &data.xyCrosstalk);
+    }
+};
+
+const World &
+world()
+{
+    static const World w;
+    return w;
+}
+
+/** 2q depth of one benchmark under a TDM plan. */
+std::size_t
+depthUnder(const TdmPlan &plan, BenchmarkKind kind)
+{
+    Prng prng(7);
+    const QuantumCircuit logical =
+        makeBenchmark(kind, world().chip.qubitCount(), prng);
+    const QuantumCircuit physical =
+        transpile(logical, world().chip).physical;
+    return scheduleWithTdm(physical, world().chip, plan)
+        .twoQubitDepth(physical);
+}
+
+TEST(Integration, DepthOrderingAcrossAllBenchmarks)
+{
+    // Figure 14's headline: Google <= YOUTIAO <= Acharya local clustering,
+    // summed across the benchmark suite.
+    std::size_t google = 0, ours = 0, acharya = 0;
+    for (BenchmarkKind kind : allBenchmarks()) {
+        google += depthUnder(world().google.zPlan, kind);
+        ours += depthUnder(world().ours.zPlan, kind);
+        acharya += depthUnder(world().acharya.zPlan, kind);
+    }
+    EXPECT_LE(google, ours);
+    EXPECT_LT(ours, acharya);
+}
+
+TEST(Integration, YoutiaoDepthOverheadModest)
+{
+    // Paper: only ~1.05x over Google across the suite.
+    std::size_t google = 0, ours = 0;
+    for (BenchmarkKind kind : allBenchmarks()) {
+        google += depthUnder(world().google.zPlan, kind);
+        ours += depthUnder(world().ours.zPlan, kind);
+    }
+    EXPECT_LE(static_cast<double>(ours),
+              1.35 * static_cast<double>(google));
+}
+
+TEST(Integration, FidelityOrderingOnVqc)
+{
+    // Figure 15: fidelity YOUTIAO beats Acharya, close to Google.
+    Prng prng(8);
+    const QuantumCircuit logical = makeVqc(16, 3, prng);
+    const QuantumCircuit physical =
+        transpile(logical, world().chip).physical;
+
+    const YoutiaoDesigner designer(world().config);
+    FidelityContext ours_ctx =
+        designer.makeFidelityContext(world().chip, world().ours);
+    // Use the measured (true) crosstalk for the comparison.
+    ours_ctx.xyCoupling = world().data.xyCrosstalk;
+    ours_ctx.zzMHz = world().data.zzCrosstalkMHz;
+    const FidelityContext google_ctx = makeBaselineFidelityContext(
+        world().chip, world().google, world().data.xyCrosstalk,
+        world().data.zzCrosstalkMHz, world().config);
+    const FidelityContext acharya_ctx = makeBaselineFidelityContext(
+        world().chip, world().acharya, world().data.xyCrosstalk,
+        world().data.zzCrosstalkMHz, world().config);
+
+    const double f_ours =
+        estimateFidelity(physical,
+                         scheduleWithTdm(physical, world().chip,
+                                         world().ours.zPlan),
+                         ours_ctx)
+            .fidelity;
+    const double f_google =
+        estimateFidelity(physical,
+                         scheduleWithTdm(physical, world().chip,
+                                         world().google.zPlan),
+                         google_ctx)
+            .fidelity;
+    const double f_acharya =
+        estimateFidelity(physical,
+                         scheduleWithTdm(physical, world().chip,
+                                         world().acharya.zPlan),
+                         acharya_ctx)
+            .fidelity;
+    EXPECT_GT(f_ours, f_acharya);
+    EXPECT_GE(f_google, 0.9 * f_ours);
+}
+
+TEST(Integration, SingleQubitGateFidelityNearPaper)
+{
+    // Paper: YOUTIAO keeps 1q fidelity ~99.98% under FDM.
+    const YoutiaoDesigner designer(world().config);
+    FidelityContext ctx =
+        designer.makeFidelityContext(world().chip, world().ours);
+    ctx.xyCoupling = world().data.xyCrosstalk;
+    ctx.zzMHz = world().data.zzCrosstalkMHz;
+
+    // One layer of X gates on one FDM line's qubits.
+    QuantumCircuit qc(world().chip.qubitCount());
+    for (std::size_t q : world().ours.xyPlan.lines[0])
+        qc.rx(q, 1.0);
+    const auto f = estimateFidelity(qc, ctx);
+    const double per_gate = std::pow(
+        f.fidelity, 1.0 / static_cast<double>(
+                              world().ours.xyPlan.lines[0].size()));
+    EXPECT_GT(per_gate, 0.9985);
+}
+
+TEST(Integration, SurfaceCodeDesignEndToEnd)
+{
+    // Table 1 pipeline: wire a distance-3 patch with YOUTIAO.
+    const SurfaceCodeLayout layout = makeSurfaceCodeLayout(3);
+    Prng prng(5);
+    const ChipCharacterization data =
+        characterizeChip(layout.chip, prng);
+    YoutiaoConfig config;
+    config.fit.forest.treeCount = 10;
+    const YoutiaoDesigner designer(config);
+    const YoutiaoDesign design = designer.design(layout.chip, data);
+    EXPECT_TRUE(allGatesRealizable(layout.chip, design.zPlan));
+    const BaselineDesign google = designGoogleWiring(layout.chip, config);
+    EXPECT_LT(design.costUsd, google.costUsd);
+    // Paper Table 1 d=3: Google $413K vs YOUTIAO $164K.
+    EXPECT_NEAR(google.costUsd, 413e3, 8e3);
+    EXPECT_LT(design.costUsd, 250e3);
+}
+
+TEST(Integration, BenchmarkCircuitsRunOnWiredChip)
+{
+    // Transpiled benchmarks stay executable: every CZ on coupled qubits,
+    // schedule valid under YOUTIAO's TDM constraint.
+    Prng prng(9);
+    for (BenchmarkKind kind : allBenchmarks()) {
+        const QuantumCircuit logical = makeBenchmark(kind, 16, prng);
+        const QuantumCircuit physical =
+            transpile(logical, world().chip).physical;
+        const Schedule s = scheduleWithTdm(physical, world().chip,
+                                           world().ours.zPlan);
+        // Every gate scheduled exactly once (RZ/barrier excluded).
+        std::size_t scheduled = 0;
+        for (const auto &layer : s.layers)
+            scheduled += layer.size();
+        std::size_t expected = 0;
+        for (const Gate &g : physical.gates()) {
+            if (g.kind != GateKind::RZ && g.kind != GateKind::Barrier)
+                ++expected;
+        }
+        EXPECT_EQ(scheduled, expected) << benchmarkName(kind);
+    }
+}
+
+} // namespace
+} // namespace youtiao
+
+// -- safe (noise-constrained) scheduling ------------------------------------
+
+namespace youtiao {
+namespace {
+
+TEST(Integration, SafeSchedulingTradesDepthForCrosstalk)
+{
+    Prng prng(77);
+    const QuantumCircuit logical = makeVqc(16, 3, prng);
+    const QuantumCircuit physical =
+        transpile(logical, world().chip).physical;
+    const Schedule plain =
+        scheduleWithTdm(physical, world().chip, world().ours.zPlan);
+    const Schedule safe = scheduleWithTdmAndNoise(
+        physical, world().chip, world().ours.zPlan,
+        world().data.zzCrosstalkMHz, 0.05);
+    EXPECT_GE(safe.depth(), plain.depth());
+
+    const YoutiaoDesigner designer(world().config);
+    FidelityContext ctx =
+        designer.makeFidelityContext(world().chip, world().ours);
+    ctx.xyCoupling = world().data.xyCrosstalk;
+    ctx.zzMHz = world().data.zzCrosstalkMHz;
+    const auto f_plain = estimateFidelity(physical, plain, ctx);
+    const auto f_safe = estimateFidelity(physical, safe, ctx);
+    // Crosstalk strictly improves; total fidelity must not collapse.
+    EXPECT_GE(f_safe.crosstalkComponent, f_plain.crosstalkComponent);
+    EXPECT_GT(f_safe.fidelity, 0.25 * f_plain.fidelity);
+}
+
+} // namespace
+} // namespace youtiao
+
+// -- the paper's introductory motivation ------------------------------------
+
+namespace youtiao {
+namespace {
+
+/** Naive all-plane TDM: drives and readout of same-DEMUX qubits
+ *  serialize (the intro example multiplexes every line). */
+class XyTdmConstraint : public LayerConstraint
+{
+  public:
+    bool
+    canCoexist(const Gate &gate,
+               const std::vector<Gate> &layer_gates) const override
+    {
+        const bool serialized =
+            usesXyLine(gate.kind) || gate.kind == GateKind::Measure;
+        if (!serialized)
+            return true;
+        for (const Gate &other : layer_gates) {
+            const bool other_serialized = usesXyLine(other.kind) ||
+                                          other.kind == GateKind::Measure;
+            if (other_serialized &&
+                other.qubit0 / 4 == gate.qubit0 / 4)
+                return false; // 1:4 DEMUX, qubits grouped by index
+        }
+        return true;
+    }
+};
+
+TEST(Integration, IntroMotivationNaiveTdmInflatesDjLatency)
+{
+    // Paper intro: "for an 8-qubit Deutsch-Jozsa circuit, using a 1:4
+    // DEMUX increases the circuit latency by 2.1x". The culprit is TDM on
+    // the XY plane: the parallel Hadamard layers serialize 4x. YOUTIAO's
+    // hybrid keeps XY on FDM, so its latency stays near dedicated wiring
+    // -- the motivation for the whole design.
+    // Part 1, on the logical circuit: serializing the parallel H /
+    // readout layers through 1:4 switches inflates depth well past the
+    // unconstrained schedule.
+    const QuantumCircuit logical =
+        lowerToBasis(makeDeutschJozsa(8, 0b1010101));
+    const Schedule free_schedule = scheduleCircuit(logical);
+    const XyTdmConstraint xy_tdm;
+    const Schedule naive = scheduleCircuit(logical, &xy_tdm);
+    // The paper reports 2.1x latency; our DJ oracle (parity chain into
+    // one ancilla) is inherently serial, which caps the inflation the
+    // parallel H/readout layers can show. The direction and a >=1.3x
+    // magnitude survive any oracle structure.
+    EXPECT_GT(static_cast<double>(naive.depth()),
+              1.3 * static_cast<double>(free_schedule.depth()))
+        << "naive all-plane TDM must inflate depth (paper: 2.1x latency)";
+
+    // Part 2, on the routed circuit: YOUTIAO's hybrid (FDM XY, grouped
+    // TDM Z) stays within a few percent of dedicated wiring.
+    const ChipTopology chip = makeSquareGrid(3, 3);
+    const QuantumCircuit physical =
+        transpile(makeDeutschJozsa(8, 0b1010101), chip).physical;
+    const Schedule dedicated =
+        scheduleWithTdm(physical, chip, dedicatedZPlan(chip));
+    Prng prng(31);
+    const SymmetricMatrix zz =
+        characterizeChip(chip, prng).zzCrosstalkMHz;
+    TdmGroupingConfig cfg;
+    cfg.minGroupScore = 0.5;
+    cfg.noisyZzMHz = 1e9;
+    const Schedule ours =
+        scheduleWithTdm(physical, chip, groupTdm(chip, zz, cfg));
+    const GateDurations d;
+    EXPECT_LT(ours.durationNs(physical, d),
+              1.15 * dedicated.durationNs(physical, d))
+        << "the hybrid keeps latency near dedicated wiring";
+}
+
+} // namespace
+} // namespace youtiao

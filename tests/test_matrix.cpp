@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/matrix.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(Matrix, ConstructAndFill)
+{
+    Matrix m(3, 4, 1.5);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+}
+
+TEST(Matrix, ReadWriteRoundTrip)
+{
+    Matrix m(2, 2);
+    m(0, 1) = 7.0;
+    m(1, 0) = -2.0;
+    EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), -2.0);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, DefaultIsEmpty)
+{
+    Matrix m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Matrix, OutOfRangeThrows)
+{
+    Matrix m(2, 2);
+    EXPECT_THROW(m(2, 0), InternalError);
+    EXPECT_THROW(m(0, 2), InternalError);
+}
+
+TEST(SymmetricMatrix, SymmetryByConstruction)
+{
+    SymmetricMatrix m(4);
+    m(1, 3) = 9.0;
+    EXPECT_DOUBLE_EQ(m(3, 1), 9.0);
+    m(3, 0) = 2.5;
+    EXPECT_DOUBLE_EQ(m(0, 3), 2.5);
+}
+
+TEST(SymmetricMatrix, DiagonalAccessible)
+{
+    SymmetricMatrix m(3);
+    m(2, 2) = 4.0;
+    EXPECT_DOUBLE_EQ(m(2, 2), 4.0);
+}
+
+TEST(SymmetricMatrix, FillValue)
+{
+    SymmetricMatrix m(5, 3.0);
+    for (std::size_t i = 0; i < 5; ++i)
+        for (std::size_t j = 0; j < 5; ++j)
+            EXPECT_DOUBLE_EQ(m(i, j), 3.0);
+}
+
+TEST(SymmetricMatrix, DistinctElementsIndependent)
+{
+    SymmetricMatrix m(4);
+    double v = 0.0;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = i; j < 4; ++j)
+            m(i, j) = ++v;
+    v = 0.0;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = i; j < 4; ++j)
+            EXPECT_DOUBLE_EQ(m(i, j), ++v);
+}
+
+TEST(SymmetricMatrix, OutOfRangeThrows)
+{
+    SymmetricMatrix m(2);
+    EXPECT_THROW(m(2, 0), InternalError);
+}
+
+TEST(SymmetricMatrix, SizeReported)
+{
+    SymmetricMatrix m(7);
+    EXPECT_EQ(m.size(), 7u);
+    EXPECT_FALSE(m.empty());
+}
+
+} // namespace
+} // namespace youtiao

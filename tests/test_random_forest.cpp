@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "noise/random_forest.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(RandomForest, FitsExponentialDecay)
+{
+    RandomForest forest;
+    std::vector<double> x, y;
+    for (int i = 0; i < 300; ++i) {
+        const double v = i / 30.0;
+        x.push_back(v);
+        y.push_back(std::exp(-0.5 * v));
+    }
+    Prng prng(1);
+    forest.fit(x, 1, y, prng);
+    double max_err = 0.0;
+    for (int i = 10; i < 290; ++i)
+        max_err = std::max(max_err,
+                           std::abs(forest.predict({&x[i], 1}) - y[i]));
+    EXPECT_LT(max_err, 0.08);
+}
+
+TEST(RandomForest, AveragesTrees)
+{
+    RandomForestConfig cfg;
+    cfg.treeCount = 10;
+    RandomForest forest(cfg);
+    std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<double> y{1, 1, 1, 1, 2, 2, 2, 2};
+    Prng prng(2);
+    forest.fit(x, 1, y, prng);
+    EXPECT_EQ(forest.treeCount(), 10u);
+    const double probe = 1.5;
+    const double pred = forest.predict({&probe, 1});
+    EXPECT_GE(pred, 1.0);
+    EXPECT_LE(pred, 2.0);
+}
+
+TEST(RandomForest, DeterministicGivenSeed)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 60; ++i) {
+        x.push_back(i);
+        y.push_back(i % 7);
+    }
+    RandomForest a, b;
+    Prng pa(5), pb(5);
+    a.fit(x, 1, y, pa);
+    b.fit(x, 1, y, pb);
+    for (int i = 0; i < 60; ++i)
+        EXPECT_DOUBLE_EQ(a.predict({&x[i], 1}), b.predict({&x[i], 1}));
+}
+
+TEST(RandomForest, BootstrapFractionReducesVarietyNotCrash)
+{
+    RandomForestConfig cfg;
+    cfg.treeCount = 5;
+    cfg.bootstrapFraction = 0.5;
+    RandomForest forest(cfg);
+    std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    std::vector<double> y{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    Prng prng(3);
+    forest.fit(x, 1, y, prng);
+    const double probe = 5.0;
+    const double pred = forest.predict({&probe, 1});
+    EXPECT_GT(pred, 1.0);
+    EXPECT_LT(pred, 10.0);
+}
+
+TEST(RandomForest, ErrorsOnBadConfig)
+{
+    RandomForestConfig zero;
+    zero.treeCount = 0;
+    EXPECT_THROW(RandomForest{zero}, ConfigError);
+    RandomForestConfig frac;
+    frac.bootstrapFraction = 0.0;
+    EXPECT_THROW(RandomForest{frac}, ConfigError);
+    RandomForest forest;
+    const double probe = 1.0;
+    EXPECT_THROW(forest.predict({&probe, 1}), ConfigError);
+}
+
+TEST(RandomForest, SmootherThanSingleTreeOnNoisyData)
+{
+    // Forest variance on noisy data should not exceed a single tree's by
+    // construction of averaging; spot-check the forest stays near truth.
+    std::vector<double> x, y;
+    Prng noise(7);
+    for (int i = 0; i < 400; ++i) {
+        const double v = i / 40.0;
+        x.push_back(v);
+        y.push_back(2.0 * v + noise.gaussian(0.0, 0.5));
+    }
+    RandomForest forest;
+    Prng prng(8);
+    forest.fit(x, 1, y, prng);
+    double sse = 0.0;
+    for (int i = 0; i < 400; ++i) {
+        const double err = forest.predict({&x[i], 1}) - 2.0 * x[i];
+        sse += err * err;
+    }
+    EXPECT_LT(std::sqrt(sse / 400.0), 0.5);
+}
+
+} // namespace
+} // namespace youtiao

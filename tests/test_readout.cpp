@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "chip/topology_builder.hpp"
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "multiplex/readout.hpp"
+#include "noise/equivalent_distance.hpp"
+
+namespace youtiao {
+namespace {
+
+SymmetricMatrix
+gridDistance(std::size_t rows, std::size_t cols)
+{
+    const ChipTopology chip = makeSquareGrid(rows, cols);
+    return equivalentDistanceMatrix(qubitPhysicalDistanceMatrix(chip),
+                                    qubitTopologicalDistanceMatrix(chip),
+                                    0.6, 0.4);
+}
+
+TEST(Readout, FeedlinesCoverAllQubits)
+{
+    const ReadoutPlan plan = planReadout(gridDistance(6, 6));
+    std::vector<int> seen(36, 0);
+    for (const auto &line : plan.feedlines) {
+        EXPECT_LE(line.size(), 8u);
+        for (std::size_t q : line)
+            ++seen[q];
+    }
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+    EXPECT_EQ(plan.feedlineCount(), 5u); // ceil(36/8)
+}
+
+TEST(Readout, ResonatorsInBand)
+{
+    ReadoutConfig cfg;
+    const ReadoutPlan plan = planReadout(gridDistance(4, 4), cfg);
+    for (double f : plan.resonatorGHz) {
+        EXPECT_GT(f, cfg.loGHz);
+        EXPECT_LT(f, cfg.hiGHz);
+    }
+}
+
+TEST(Readout, InLineResonatorsDistinct)
+{
+    const ReadoutPlan plan = planReadout(gridDistance(4, 4));
+    for (const auto &line : plan.feedlines) {
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            for (std::size_t j = i + 1; j < line.size(); ++j) {
+                EXPECT_GT(std::abs(plan.resonatorGHz[line[i]] -
+                                   plan.resonatorGHz[line[j]]),
+                          0.05);
+            }
+        }
+    }
+}
+
+TEST(Readout, PaperIsolationRequirementMet)
+{
+    // 8 channels across a 1.5 GHz band with 2 MHz resonators: the paper's
+    // -30 dB inter-channel crosstalk requirement must hold comfortably.
+    const ReadoutPlan plan = planReadout(gridDistance(6, 6));
+    EXPECT_TRUE(meetsIsolation(plan));
+    EXPECT_LT(worstChannelCrosstalkDb(plan), -30.0);
+}
+
+TEST(Readout, IsolationFailsWithFatResonators)
+{
+    ReadoutConfig cfg;
+    cfg.resonatorLinewidthGHz = 0.2; // absurdly broad resonators
+    const ReadoutPlan plan = planReadout(gridDistance(6, 6), cfg);
+    EXPECT_FALSE(meetsIsolation(plan, cfg));
+}
+
+TEST(Readout, SingleShotFidelityNearPaper)
+{
+    // Paper section 2.2: single-shot readout fidelity ~99.0%.
+    const ReadoutPlan plan = planReadout(gridDistance(6, 6));
+    const auto fidelities = singleShotFidelities(plan);
+    EXPECT_NEAR(mean(fidelities), 0.99, 0.005);
+    for (double f : fidelities)
+        EXPECT_GT(f, 0.98);
+}
+
+TEST(Readout, CrowdedFeedlineHurtsFidelity)
+{
+    ReadoutConfig tight;
+    tight.feedlineCapacity = 36; // everything on one line
+    tight.resonatorLinewidthGHz = 0.02;
+    const ReadoutPlan crowded = planReadout(gridDistance(6, 6), tight);
+    ReadoutConfig loose = tight;
+    loose.feedlineCapacity = 4;
+    const ReadoutPlan sparse = planReadout(gridDistance(6, 6), loose);
+    EXPECT_LT(mean(singleShotFidelities(crowded, tight)),
+              mean(singleShotFidelities(sparse, loose)));
+}
+
+TEST(Readout, SingleQubitLinePerfectIsolation)
+{
+    const ReadoutPlan plan = planReadout(gridDistance(1, 2),
+                                         ReadoutConfig{1, 7.0, 8.5});
+    EXPECT_DOUBLE_EQ(worstChannelCrosstalkDb(plan), -300.0);
+}
+
+TEST(Readout, BadConfigThrows)
+{
+    EXPECT_THROW(planReadout(gridDistance(2, 2),
+                             ReadoutConfig{0, 7.0, 8.5}),
+                 ConfigError);
+    ReadoutConfig inverted;
+    inverted.loGHz = 9.0;
+    EXPECT_THROW(planReadout(gridDistance(2, 2), inverted), ConfigError);
+}
+
+} // namespace
+} // namespace youtiao

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "chip/topology_builder.hpp"
+#include "common/error.hpp"
+#include "core/baselines.hpp"
+#include "core/youtiao.hpp"
+#include "routing/astar_router.hpp"
+#include "routing/chip_router.hpp"
+#include "routing/drc.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(RoutingGrid, GeometryRoundTrip)
+{
+    RoutingGrid grid(Point{0, 0}, Point{3, 3});
+    const Cell c = grid.cellAt(Point{1.5, 1.5});
+    const Point p = grid.pointAt(c);
+    EXPECT_NEAR(p.x, 1.5, grid.cellMm());
+    EXPECT_NEAR(p.y, 1.5, grid.cellMm());
+}
+
+TEST(RoutingGrid, BlockAndClear)
+{
+    RoutingGrid grid(Point{0, 0}, Point{2, 2});
+    grid.blockSquare(Point{1, 1}, 0.2);
+    const Cell c = grid.cellAt(Point{1, 1});
+    EXPECT_EQ(grid.owner(c), RoutingGrid::kObstacle);
+    grid.clearSquare(Point{1, 1}, 0.2);
+    EXPECT_EQ(grid.owner(c), RoutingGrid::kFree);
+}
+
+TEST(RoutingGrid, ClearOnlyRemovesObstacles)
+{
+    RoutingGrid grid(Point{0, 0}, Point{2, 2});
+    const Cell c = grid.cellAt(Point{1, 1});
+    grid.setOwner(c, 3);
+    grid.clearSquare(Point{1, 1}, 0.1);
+    EXPECT_EQ(grid.owner(c), 3);
+}
+
+TEST(AstarRouter, StraightLineRoute)
+{
+    RoutingGrid grid(Point{0, 0}, Point{5, 5});
+    const Cell a = grid.cellAt(Point{0.5, 2.5});
+    const Cell b = grid.cellAt(Point{4.5, 2.5});
+    const auto path = routeAstar(grid, a, b, 0);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->cells.front(), a);
+    EXPECT_EQ(path->cells.back(), b);
+    // Manhattan-optimal: newCells == |dx| + 1 along a straight line.
+    EXPECT_EQ(path->newCells, b.x - a.x + 1);
+}
+
+TEST(AstarRouter, RoutesAroundObstacle)
+{
+    RoutingGrid grid(Point{0, 0}, Point{5, 5});
+    // Wall across the middle with a gap at the top.
+    for (double y = 0.0; y <= 4.0; y += grid.cellMm() / 2)
+        grid.blockSquare(Point{3.0, y}, 0.01);
+    const Cell a = grid.cellAt(Point{1.0, 2.0});
+    const Cell b = grid.cellAt(Point{5.0, 2.0});
+    const auto path = routeAstar(grid, a, b, 1);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_GT(path->newCells, grid.cellAt(Point{5.0, 2.0}).x -
+                                  grid.cellAt(Point{1.0, 2.0}).x + 1);
+}
+
+TEST(AstarRouter, OtherNetCrossedViaAirbridge)
+{
+    RoutingGrid grid(Point{0, 0}, Point{2, 0.0});
+    const Cell a = grid.cellAt(Point{0.0, 0.0});
+    const Cell b = grid.cellAt(Point{2.0, 0.0});
+    // Another net owns the full column between them (grid is a strip):
+    // the route must hop it with exactly one perpendicular airbridge.
+    for (std::size_t y = 0; y < grid.height(); ++y)
+        grid.setOwner(Cell{grid.width() / 2, y}, 7);
+    const auto path = routeAstar(grid, a, b, 1);
+    ASSERT_TRUE(path.has_value());
+    ASSERT_EQ(path->crossovers.size(), 1u);
+    EXPECT_EQ(path->crossovers[0].overNet, 7);
+    EXPECT_EQ(path->crossovers[0].byNet, 1);
+    // The bridged cell keeps its original owner.
+    EXPECT_EQ(grid.owner(path->crossovers[0].cell), 7);
+}
+
+TEST(AstarRouter, ObstacleWallStillBlocks)
+{
+    RoutingGrid grid(Point{0, 0}, Point{2, 0.0});
+    const Cell a = grid.cellAt(Point{0.0, 0.0});
+    const Cell b = grid.cellAt(Point{2.0, 0.0});
+    for (std::size_t y = 0; y < grid.height(); ++y)
+        grid.setOwner(Cell{grid.width() / 2, y}, RoutingGrid::kObstacle);
+    EXPECT_FALSE(routeAstar(grid, a, b, 1).has_value());
+}
+
+TEST(AstarRouter, SameNetReuseCheap)
+{
+    RoutingGrid grid(Point{0, 0}, Point{4, 4});
+    const Cell a = grid.cellAt(Point{0.0, 2.0});
+    const Cell b = grid.cellAt(Point{4.0, 2.0});
+    const auto trunk = routeAstar(grid, a, b, 0);
+    ASSERT_TRUE(trunk.has_value());
+    // Second terminal hooks onto the trunk: new metal is only the stub.
+    const Cell t = grid.cellAt(Point{2.0, 3.0});
+    const auto stub = routeAstar(grid, t, a, 0);
+    ASSERT_TRUE(stub.has_value());
+    EXPECT_LE(stub->newCells,
+              grid.cellAt(Point{2.0, 3.0}).y - grid.cellAt(Point{2.0, 2.0}).y
+                  + 1);
+}
+
+TEST(AstarRouter, NegativeNetIdThrows)
+{
+    RoutingGrid grid(Point{0, 0}, Point{1, 1});
+    EXPECT_THROW(routeAstar(grid, Cell{0, 0}, Cell{1, 1}, -1),
+                 ConfigError);
+}
+
+TEST(ChipRouter, RoutesGoogleWiringOnSquareChip)
+{
+    const ChipTopology chip = makeSquare();
+    const BaselineDesign google = designGoogleWiring(chip);
+    const auto nets = buildWiringNets(chip, google.xyPlan, google.zPlan,
+                                      google.readoutPlan);
+    const ChipRoutingResult result = routeChip(chip, nets);
+    EXPECT_EQ(result.failedConnections, 0u);
+    EXPECT_GT(result.totalLengthMm, 0.0);
+    EXPECT_GT(result.routingAreaMm2, 0.0);
+    EXPECT_EQ(result.interfaceCount, nets.size());
+}
+
+TEST(ChipRouter, RoutedGridPassesDrc)
+{
+    const ChipTopology chip = makeSquare();
+    const BaselineDesign google = designGoogleWiring(chip);
+    const auto nets = buildWiringNets(chip, google.xyPlan, google.zPlan,
+                                      google.readoutPlan);
+    const ChipRoutingResult result = routeChip(chip, nets);
+    ASSERT_TRUE(result.grid.has_value());
+    const DrcReport report =
+        checkRoutingDrc(*result.grid, nets.size(), result.crossovers);
+    EXPECT_TRUE(report.clean) << (report.violations.empty()
+                                      ? ""
+                                      : report.violations.front());
+}
+
+TEST(ChipRouter, YoutiaoUsesFewerInterfacesAndLessArea)
+{
+    const ChipTopology chip = makeSquare();
+    Prng prng(5);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    YoutiaoConfig config;
+    config.fit.forest.treeCount = 10;
+    const YoutiaoDesigner designer(config);
+    const YoutiaoDesign ours = designer.design(chip, data);
+    const BaselineDesign google = designGoogleWiring(chip);
+
+    const auto our_nets = buildWiringNets(chip, ours.xyPlan, ours.zPlan,
+                                          ours.readoutPlan);
+    const auto google_nets = buildWiringNets(chip, google.xyPlan,
+                                             google.zPlan,
+                                             google.readoutPlan);
+    const ChipRoutingResult our_route = routeChip(chip, our_nets);
+    const ChipRoutingResult google_route = routeChip(chip, google_nets);
+    EXPECT_LT(our_route.interfaceCount, google_route.interfaceCount);
+    EXPECT_LT(our_route.routingAreaMm2, google_route.routingAreaMm2);
+    EXPECT_EQ(our_route.failedConnections, 0u);
+}
+
+TEST(ChipRouter, EmptyNetListThrows)
+{
+    const ChipTopology chip = makeSquare();
+    EXPECT_THROW(routeChip(chip, {}), ConfigError);
+}
+
+TEST(Drc, DetectsFragmentedNet)
+{
+    RoutingGrid grid(Point{0, 0}, Point{2, 2});
+    grid.setOwner(Cell{0, 0}, 0);
+    grid.setOwner(Cell{5, 5}, 0); // disconnected piece of net 0
+    const DrcReport report = checkRoutingDrc(grid, 1);
+    EXPECT_FALSE(report.clean);
+    EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(Drc, CleanGridPasses)
+{
+    RoutingGrid grid(Point{0, 0}, Point{2, 2});
+    grid.setOwner(Cell{0, 0}, 0);
+    grid.setOwner(Cell{1, 0}, 0);
+    const DrcReport report = checkRoutingDrc(grid, 1);
+    EXPECT_TRUE(report.clean);
+}
+
+TEST(Drc, UnknownOwnerFlagged)
+{
+    RoutingGrid grid(Point{0, 0}, Point{1, 1});
+    grid.setOwner(Cell{0, 0}, 9);
+    const DrcReport report = checkRoutingDrc(grid, 1);
+    EXPECT_FALSE(report.clean);
+}
+
+} // namespace
+} // namespace youtiao
+
+// -- whole-chip routing across every topology family ----------------------
+
+namespace youtiao {
+namespace {
+
+class RouteEveryTopology
+    : public ::testing::TestWithParam<TopologyFamily>
+{};
+
+TEST_P(RouteEveryTopology, GoogleWiringRoutesClean)
+{
+    const ChipTopology chip = makeTopology(GetParam());
+    const BaselineDesign design = designGoogleWiring(chip);
+    ChipRoutingConfig config;
+    config.grid.marginMm = 1.5; // small margin keeps the test fast
+    const auto nets = buildWiringNets(chip, design.xyPlan, design.zPlan,
+                                      design.readoutPlan, config);
+    const ChipRoutingResult result = routeChip(chip, nets, config);
+    EXPECT_EQ(result.failedConnections, 0u)
+        << topologyFamilyName(GetParam());
+    ASSERT_TRUE(result.grid.has_value());
+    const DrcReport report =
+        checkRoutingDrc(*result.grid, nets.size(), result.crossovers);
+    EXPECT_TRUE(report.clean)
+        << topologyFamilyName(GetParam()) << ": "
+        << (report.violations.empty() ? "" : report.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, RouteEveryTopology,
+                         ::testing::Values(TopologyFamily::Square,
+                                           TopologyFamily::Hexagon,
+                                           TopologyFamily::HeavySquare,
+                                           TopologyFamily::HeavyHexagon,
+                                           TopologyFamily::LowDensity));
+
+TEST(ChipRouterExtra, CrossoversReportedAndDeduplicated)
+{
+    const ChipTopology chip = makeSquare();
+    const BaselineDesign design = designGoogleWiring(chip);
+    const auto nets = buildWiringNets(chip, design.xyPlan, design.zPlan,
+                                      design.readoutPlan);
+    const ChipRoutingResult result = routeChip(chip, nets);
+    for (std::size_t a = 0; a < result.crossovers.size(); ++a) {
+        const Crossover &x = result.crossovers[a];
+        EXPECT_NE(x.byNet, x.overNet);
+        // The bridged cell still belongs to the net below.
+        ASSERT_TRUE(result.grid.has_value());
+        EXPECT_EQ(result.grid->owner(x.cell), x.overNet);
+        for (std::size_t b = a + 1; b < result.crossovers.size(); ++b) {
+            const Crossover &y = result.crossovers[b];
+            EXPECT_FALSE(x.cell == y.cell && x.byNet == y.byNet)
+                << "duplicate crossover record";
+        }
+    }
+}
+
+TEST(ChipRouterExtra, DenseChipShrinksInterfacePitch)
+{
+    // A 5x5 grid's Google wiring needs more interfaces than 0.5 mm pads
+    // fit on the perimeter; the router must shrink the pitch, not throw.
+    const ChipTopology chip = makeSquareGrid(5, 5);
+    const BaselineDesign design = designGoogleWiring(chip);
+    ChipRoutingConfig config;
+    config.grid.marginMm = 1.0;
+    const auto nets = buildWiringNets(chip, design.xyPlan, design.zPlan,
+                                      design.readoutPlan, config);
+    const ChipRoutingResult result = routeChip(chip, nets, config);
+    EXPECT_EQ(result.interfaceCount, nets.size());
+    EXPECT_LE(result.failedConnections, 1u);
+}
+
+TEST(ChipRouterExtra, PinPortsAvoidNeighbourPads)
+{
+    // Heavy-square midpoint qubits crowd their east/west ports; every
+    // generated pin must sit outside every other device's keep-out.
+    const ChipTopology chip = makeHeavySquare();
+    const BaselineDesign design = designGoogleWiring(chip);
+    ChipRoutingConfig config;
+    const auto nets = buildWiringNets(chip, design.xyPlan, design.zPlan,
+                                      design.readoutPlan, config);
+    for (const NetSpec &net : nets) {
+        for (const Point &pin : net.terminals) {
+            for (std::size_t d = 0; d < chip.deviceCount(); ++d) {
+                const double pad =
+                    (chip.deviceKind(d) == DeviceKind::Qubit ? 1.0
+                                                             : 0.5) *
+                    config.grid.devicePadMm;
+                const Point o = chip.devicePosition(d);
+                const bool inside =
+                    std::abs(pin.x - o.x) < pad - 1e-9 &&
+                    std::abs(pin.y - o.y) < pad - 1e-9;
+                EXPECT_FALSE(inside)
+                    << "pin (" << pin.x << "," << pin.y
+                    << ") inside device " << d << " keep-out";
+            }
+        }
+    }
+}
+
+TEST(ChipRouterExtra, RoutingAreaEqualsLengthTimesPitch)
+{
+    const ChipTopology chip = makeSquare();
+    const BaselineDesign design = designGoogleWiring(chip);
+    ChipRoutingConfig config;
+    const auto nets = buildWiringNets(chip, design.xyPlan, design.zPlan,
+                                      design.readoutPlan, config);
+    const ChipRoutingResult result = routeChip(chip, nets, config);
+    EXPECT_NEAR(result.routingAreaMm2,
+                result.totalLengthMm * config.grid.cellMm, 1e-9);
+}
+
+} // namespace
+} // namespace youtiao

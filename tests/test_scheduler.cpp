@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "circuit/scheduler.hpp"
+
+namespace youtiao {
+namespace {
+
+/** Constraint forbidding more than one two-qubit gate per layer. */
+class OneCzPerLayer : public LayerConstraint
+{
+  public:
+    bool
+    canCoexist(const Gate &gate,
+               const std::vector<Gate> &layer_gates) const override
+    {
+        if (!isTwoQubit(gate.kind))
+            return true;
+        for (const Gate &g : layer_gates)
+            if (isTwoQubit(g.kind))
+                return false;
+        return true;
+    }
+};
+
+TEST(Scheduler, UnconstrainedMatchesCircuitDepth)
+{
+    QuantumCircuit qc(4);
+    qc.h(0);
+    qc.h(1);
+    qc.h(2);
+    qc.h(3);
+    qc.cz(0, 1);
+    qc.cz(2, 3); // both CZs land in layer 1
+    const Schedule s = scheduleCircuit(qc);
+    EXPECT_EQ(s.depth(), 2u);
+    EXPECT_EQ(s.twoQubitDepth(qc), 1u);
+}
+
+TEST(Scheduler, VirtualRzSkipped)
+{
+    QuantumCircuit qc(1);
+    qc.rz(0, 1.0);
+    qc.rz(0, 2.0);
+    const Schedule s = scheduleCircuit(qc);
+    EXPECT_EQ(s.depth(), 0u);
+    EXPECT_DOUBLE_EQ(s.durationNs(qc), 0.0);
+}
+
+TEST(Scheduler, BarrierSeparatesLayers)
+{
+    QuantumCircuit qc(2);
+    qc.h(0);
+    qc.barrier();
+    qc.h(1);
+    const Schedule s = scheduleCircuit(qc);
+    EXPECT_EQ(s.depth(), 2u);
+}
+
+TEST(Scheduler, ConstraintSerializes)
+{
+    QuantumCircuit qc(4);
+    qc.cz(0, 1);
+    qc.cz(2, 3);
+    const OneCzPerLayer constraint;
+    const Schedule s = scheduleCircuit(qc, &constraint);
+    EXPECT_EQ(s.depth(), 2u);
+    EXPECT_EQ(s.twoQubitDepth(qc), 2u);
+}
+
+TEST(Scheduler, ConstraintDoesNotAffectOneQubitGates)
+{
+    QuantumCircuit qc(3);
+    qc.h(0);
+    qc.h(1);
+    qc.h(2);
+    const OneCzPerLayer constraint;
+    const Schedule s = scheduleCircuit(qc, &constraint);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(Scheduler, DurationUsesSlowestGatePerLayer)
+{
+    QuantumCircuit qc(3);
+    qc.h(0);
+    qc.cz(1, 2); // same layer: 60 ns dominates 25 ns
+    qc.h(1);     // second layer: 25 ns
+    const Schedule s = scheduleCircuit(qc);
+    GateDurations d;
+    EXPECT_DOUBLE_EQ(s.durationNs(qc, d), 60.0 + 25.0);
+}
+
+TEST(Scheduler, MeasureDurationCounted)
+{
+    QuantumCircuit qc(1);
+    qc.measure(0);
+    const Schedule s = scheduleCircuit(qc);
+    GateDurations d;
+    EXPECT_DOUBLE_EQ(s.durationNs(qc, d), d.readoutNs);
+}
+
+TEST(Scheduler, ProgramOrderPerQubitPreserved)
+{
+    QuantumCircuit qc(1);
+    qc.h(0);
+    qc.x(0);
+    qc.ry(0, 0.3);
+    const Schedule s = scheduleCircuit(qc);
+    ASSERT_EQ(s.depth(), 3u);
+    EXPECT_EQ(s.layers[0][0], 0u);
+    EXPECT_EQ(s.layers[1][0], 1u);
+    EXPECT_EQ(s.layers[2][0], 2u);
+}
+
+TEST(Scheduler, GateDurationHelper)
+{
+    GateDurations d;
+    EXPECT_DOUBLE_EQ(gateDurationNs(Gate{GateKind::RZ, 0, 0, 1.0}, d), 0.0);
+    EXPECT_DOUBLE_EQ(gateDurationNs(Gate{GateKind::CZ, 0, 1, 0.0}, d),
+                     d.twoQubitNs);
+    EXPECT_DOUBLE_EQ(gateDurationNs(Gate{GateKind::RX, 0, 0, 1.0}, d),
+                     d.oneQubitNs);
+    EXPECT_DOUBLE_EQ(gateDurationNs(Gate{GateKind::Barrier, 0, 0, 0.0}, d),
+                     0.0);
+}
+
+TEST(Scheduler, EmptyCircuit)
+{
+    QuantumCircuit qc(2);
+    const Schedule s = scheduleCircuit(qc);
+    EXPECT_EQ(s.depth(), 0u);
+}
+
+TEST(Scheduler, DelayedGateKeepsQubitOrdering)
+{
+    // Gate on (0,1) forced to layer 1 by the constraint; a later H on
+    // qubit 0 must land at layer 2, never before its predecessor.
+    QuantumCircuit qc(4);
+    qc.cz(2, 3);
+    qc.cz(0, 1);
+    qc.h(0);
+    const OneCzPerLayer constraint;
+    const Schedule s = scheduleCircuit(qc, &constraint);
+    ASSERT_EQ(s.depth(), 3u);
+    EXPECT_EQ(s.layers[1][0], 1u); // the delayed CZ
+    EXPECT_EQ(s.layers[2][0], 2u); // the H after it
+}
+
+} // namespace
+} // namespace youtiao

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chip/topology_builder.hpp"
+#include "common/error.hpp"
+#include "core/serialization.hpp"
+
+namespace youtiao {
+namespace {
+
+struct Designed
+{
+    ChipTopology chip = makeSquareGrid(4, 4);
+    YoutiaoConfig config;
+    YoutiaoDesign design;
+
+    Designed()
+    {
+        Prng prng(99);
+        const ChipCharacterization data = characterizeChip(chip, prng);
+        config.fit.forest.treeCount = 10;
+        design = YoutiaoDesigner(config).design(chip, data);
+    }
+};
+
+const Designed &
+designed()
+{
+    static const Designed d;
+    return d;
+}
+
+TEST(Serialization, RoundTripPlans)
+{
+    const YoutiaoDesign loaded =
+        designFromString(designToString(designed().design));
+    EXPECT_EQ(loaded.xyPlan.lines, designed().design.xyPlan.lines);
+    EXPECT_EQ(loaded.xyPlan.lineOfQubit,
+              designed().design.xyPlan.lineOfQubit);
+    EXPECT_EQ(loaded.zPlan.groupOfDevice,
+              designed().design.zPlan.groupOfDevice);
+    ASSERT_EQ(loaded.zPlan.groups.size(),
+              designed().design.zPlan.groups.size());
+    for (std::size_t g = 0; g < loaded.zPlan.groups.size(); ++g) {
+        EXPECT_EQ(loaded.zPlan.groups[g].devices,
+                  designed().design.zPlan.groups[g].devices);
+        EXPECT_EQ(loaded.zPlan.groups[g].fanout,
+                  designed().design.zPlan.groups[g].fanout);
+    }
+    EXPECT_EQ(loaded.readout.feedlines,
+              designed().design.readout.feedlines);
+}
+
+TEST(Serialization, RoundTripNumericExact)
+{
+    const YoutiaoDesign loaded =
+        designFromString(designToString(designed().design));
+    ASSERT_EQ(loaded.frequencyPlan.frequencyGHz.size(),
+              designed().design.frequencyPlan.frequencyGHz.size());
+    for (std::size_t q = 0;
+         q < loaded.frequencyPlan.frequencyGHz.size(); ++q) {
+        EXPECT_DOUBLE_EQ(loaded.frequencyPlan.frequencyGHz[q],
+                         designed().design.frequencyPlan.frequencyGHz[q]);
+    }
+    for (std::size_t i = 0; i < loaded.predictedXy.size(); ++i)
+        for (std::size_t j = i; j < loaded.predictedXy.size(); ++j)
+            EXPECT_DOUBLE_EQ(loaded.predictedXy(i, j),
+                             designed().design.predictedXy(i, j));
+    EXPECT_DOUBLE_EQ(loaded.costUsd, designed().design.costUsd);
+    EXPECT_EQ(loaded.counts.coax(), designed().design.counts.coax());
+    EXPECT_EQ(loaded.counts.dacs(), designed().design.counts.dacs());
+}
+
+TEST(Serialization, LoadedPlanStillLegal)
+{
+    const YoutiaoDesign loaded =
+        designFromString(designToString(designed().design));
+    EXPECT_TRUE(allGatesRealizable(designed().chip, loaded.zPlan));
+}
+
+TEST(Serialization, RejectsWrongVersion)
+{
+    std::string text = designToString(designed().design);
+    text.replace(text.find(" 1\n"), 3, " 9\n");
+    EXPECT_THROW(designFromString(text), ConfigError);
+}
+
+TEST(Serialization, RejectsGarbage)
+{
+    EXPECT_THROW(designFromString("not a design"), ConfigError);
+    EXPECT_THROW(designFromString(""), ConfigError);
+}
+
+TEST(Serialization, RejectsTruncation)
+{
+    const std::string text = designToString(designed().design);
+    const std::string truncated = text.substr(0, text.size() / 2);
+    EXPECT_THROW(designFromString(truncated), ConfigError);
+}
+
+TEST(Serialization, RejectsInconsistentMaps)
+{
+    std::string text = designToString(designed().design);
+    // Corrupt the xy map: point qubit 0 at a bogus line id.
+    const auto pos = text.find("xy.line_of_qubit ");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos + 17, 1, "7");
+    EXPECT_THROW(designFromString(text), ConfigError);
+}
+
+TEST(Serialization, CommentsAndBlankLinesTolerated)
+{
+    std::string text = designToString(designed().design);
+    text.insert(0, "# saved by youtiao_cli\n\n");
+    const YoutiaoDesign loaded = designFromString(text);
+    EXPECT_EQ(loaded.xyPlan.lines, designed().design.xyPlan.lines);
+}
+
+} // namespace
+} // namespace youtiao

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "graph/graph.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace youtiao {
+namespace {
+
+/** Path graph 0-1-2-3. */
+Graph
+pathGraph()
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    return g;
+}
+
+/** 4-cycle 0-1-3-2-0: two shortest paths between opposite corners. */
+Graph
+squareCycle()
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 3);
+    g.addEdge(3, 2);
+    g.addEdge(2, 0);
+    return g;
+}
+
+TEST(ShortestPath, HopsOnPathGraph)
+{
+    const Graph g = pathGraph();
+    const auto bfs = multiPathBfs(g, 0);
+    EXPECT_EQ(bfs.hops[0], 0u);
+    EXPECT_EQ(bfs.hops[1], 1u);
+    EXPECT_EQ(bfs.hops[3], 3u);
+    for (std::size_t count : bfs.pathCount)
+        EXPECT_EQ(count, 1u);
+}
+
+TEST(ShortestPath, HopDistanceFunction)
+{
+    const Graph g = pathGraph();
+    EXPECT_EQ(hopDistance(g, 0, 3), 3u);
+    EXPECT_EQ(hopDistance(g, 2, 2), 0u);
+}
+
+TEST(ShortestPath, MultiplicityOnCycle)
+{
+    const Graph g = squareCycle();
+    const auto bfs = multiPathBfs(g, 0);
+    // Opposite corner (vertex 3): two 2-hop paths.
+    EXPECT_EQ(bfs.hops[3], 2u);
+    EXPECT_EQ(bfs.pathCount[3], 2u);
+}
+
+TEST(ShortestPath, MultiPathDistanceIsNTimesL)
+{
+    const Graph g = squareCycle();
+    // d_top = n * l = 2 * 2 = 4 between opposite corners (paper Sec 4.1).
+    EXPECT_EQ(multiPathDistance(g, 0, 3), 4u);
+    // Adjacent vertices: l = 1, n = 1.
+    EXPECT_EQ(multiPathDistance(g, 0, 1), 1u);
+    EXPECT_EQ(multiPathDistance(g, 2, 2), 0u);
+}
+
+TEST(ShortestPath, GridCenterMultiplicity)
+{
+    // 3x3 grid: corner (0) to centre (4) has 2 shortest 2-hop paths.
+    Graph g(9);
+    auto at = [](std::size_t r, std::size_t c) { return r * 3 + c; };
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            if (c + 1 < 3)
+                g.addEdge(at(r, c), at(r, c + 1));
+            if (r + 1 < 3)
+                g.addEdge(at(r, c), at(r + 1, c));
+        }
+    }
+    EXPECT_EQ(multiPathDistance(g, at(0, 0), at(1, 1)), 2u * 2u);
+    // Corner to opposite corner: l = 4, n = C(4,2) = 6 -> 24.
+    EXPECT_EQ(multiPathDistance(g, at(0, 0), at(2, 2)), 4u * 6u);
+}
+
+TEST(ShortestPath, UnreachableReported)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    EXPECT_EQ(hopDistance(g, 0, 2), kUnreachable);
+    EXPECT_EQ(multiPathDistance(g, 0, 2), kUnreachable);
+}
+
+TEST(ShortestPath, AllPairsMatchesSingleSource)
+{
+    const Graph g = squareCycle();
+    const auto table = allPairsMultiPathDistance(g);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j)
+            EXPECT_EQ(table[i][j], multiPathDistance(g, i, j));
+    }
+}
+
+TEST(ShortestPath, DijkstraWeighted)
+{
+    Graph g(4);
+    g.addEdge(0, 1, 1.0);
+    g.addEdge(1, 2, 1.0);
+    g.addEdge(0, 2, 5.0);
+    g.addEdge(2, 3, 1.0);
+    const auto dist = dijkstra(g, 0);
+    EXPECT_DOUBLE_EQ(dist[2], 2.0); // via 1, not the direct 5.0 edge
+    EXPECT_DOUBLE_EQ(dist[3], 3.0);
+}
+
+TEST(ShortestPath, DijkstraUnreachableInfinite)
+{
+    Graph g(2);
+    const auto dist = dijkstra(g, 0);
+    EXPECT_TRUE(std::isinf(dist[1]));
+}
+
+TEST(ShortestPath, DijkstraNegativeWeightThrows)
+{
+    Graph g(2);
+    g.addEdge(0, 1, -1.0);
+    EXPECT_THROW(dijkstra(g, 0), ConfigError);
+}
+
+} // namespace
+} // namespace youtiao

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(Statistics, MeanBasic)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Statistics, MeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Statistics, VarianceAndStddev)
+{
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Statistics, VarianceOfConstantIsZero)
+{
+    const std::vector<double> xs{3.0, 3.0, 3.0};
+    EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Statistics, MinMaxMedian)
+{
+    const std::vector<double> xs{5.0, 1.0, 4.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(minimum(xs), 1.0);
+    EXPECT_DOUBLE_EQ(maximum(xs), 5.0);
+    EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Statistics, MedianEvenCount)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 10.0};
+    EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Statistics, MseAndMae)
+{
+    const std::vector<double> pred{1.0, 2.0, 3.0};
+    const std::vector<double> actual{1.0, 4.0, 1.0};
+    EXPECT_DOUBLE_EQ(meanSquaredError(pred, actual), (0.0 + 4.0 + 4.0) / 3);
+    EXPECT_DOUBLE_EQ(meanAbsoluteError(pred, actual), (0.0 + 2.0 + 2.0) / 3);
+}
+
+TEST(Statistics, MseSizeMismatchThrows)
+{
+    const std::vector<double> a{1.0};
+    const std::vector<double> b{1.0, 2.0};
+    EXPECT_THROW(meanSquaredError(a, b), ConfigError);
+}
+
+TEST(Statistics, PearsonPerfectCorrelation)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Statistics, PearsonAntiCorrelation)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    const std::vector<double> ys{3.0, 2.0, 1.0};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Statistics, PearsonConstantIsZero)
+{
+    const std::vector<double> xs{1.0, 1.0, 1.0};
+    const std::vector<double> ys{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(pearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(Statistics, HistogramNormalized)
+{
+    const std::vector<double> xs{0.1, 0.2, 0.6, 0.9};
+    const auto hist = normalizedHistogram(xs, 0.0, 1.0, 2);
+    ASSERT_EQ(hist.size(), 2u);
+    EXPECT_DOUBLE_EQ(hist[0], 0.5);
+    EXPECT_DOUBLE_EQ(hist[1], 0.5);
+}
+
+TEST(Statistics, HistogramClampsOutOfRange)
+{
+    const std::vector<double> xs{-5.0, 5.0};
+    const auto hist = normalizedHistogram(xs, 0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(hist.front(), 0.5);
+    EXPECT_DOUBLE_EQ(hist.back(), 0.5);
+}
+
+TEST(Statistics, KlOfIdenticalIsZero)
+{
+    const std::vector<double> p{0.25, 0.25, 0.5};
+    EXPECT_NEAR(klDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(Statistics, JsSymmetricAndBounded)
+{
+    const std::vector<double> p{0.9, 0.1};
+    const std::vector<double> q{0.1, 0.9};
+    const double js_pq = jsDivergence(p, q);
+    const double js_qp = jsDivergence(q, p);
+    EXPECT_NEAR(js_pq, js_qp, 1e-12);
+    EXPECT_GT(js_pq, 0.0);
+    EXPECT_LE(js_pq, std::log(2.0) + 1e-12);
+}
+
+TEST(Statistics, JsOfIdenticalIsZero)
+{
+    const std::vector<double> p{0.2, 0.3, 0.5};
+    EXPECT_NEAR(jsDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(Statistics, JsOfDisjointIsLogTwo)
+{
+    const std::vector<double> p{1.0, 0.0};
+    const std::vector<double> q{0.0, 1.0};
+    EXPECT_NEAR(jsDivergence(p, q), std::log(2.0), 1e-9);
+}
+
+TEST(Statistics, KFoldCoversEverythingOnce)
+{
+    const auto folds = kFoldIndices(23, 5);
+    ASSERT_EQ(folds.size(), 5u);
+    std::vector<int> seen(23, 0);
+    for (const auto &fold : folds) {
+        EXPECT_FALSE(fold.empty());
+        for (std::size_t i : fold)
+            ++seen[i];
+    }
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+TEST(Statistics, KFoldBalanced)
+{
+    const auto folds = kFoldIndices(10, 5);
+    for (const auto &fold : folds)
+        EXPECT_EQ(fold.size(), 2u);
+}
+
+TEST(Statistics, KFoldTooFewSamplesThrows)
+{
+    EXPECT_THROW(kFoldIndices(3, 5), ConfigError);
+}
+
+} // namespace
+} // namespace youtiao

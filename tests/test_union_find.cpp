@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/union_find.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(UnionFind, InitiallyDisjoint)
+{
+    UnionFind uf(4);
+    EXPECT_FALSE(uf.connected(0, 1));
+    EXPECT_EQ(uf.setSize(2), 1u);
+}
+
+TEST(UnionFind, UniteAndQuery)
+{
+    UnionFind uf(5);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_TRUE(uf.unite(1, 2));
+    EXPECT_TRUE(uf.connected(0, 2));
+    EXPECT_EQ(uf.setSize(0), 3u);
+    EXPECT_FALSE(uf.connected(0, 3));
+}
+
+TEST(UnionFind, RepeatedUniteReturnsFalse)
+{
+    UnionFind uf(3);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_FALSE(uf.unite(1, 0));
+}
+
+TEST(UnionFind, TransitiveMerging)
+{
+    UnionFind uf(8);
+    uf.unite(0, 1);
+    uf.unite(2, 3);
+    uf.unite(4, 5);
+    uf.unite(6, 7);
+    uf.unite(1, 2);
+    uf.unite(5, 6);
+    EXPECT_TRUE(uf.connected(0, 3));
+    EXPECT_TRUE(uf.connected(4, 7));
+    EXPECT_FALSE(uf.connected(0, 4));
+    uf.unite(3, 4);
+    EXPECT_TRUE(uf.connected(0, 7));
+    EXPECT_EQ(uf.setSize(0), 8u);
+}
+
+TEST(UnionFind, OutOfRangeThrows)
+{
+    UnionFind uf(2);
+    EXPECT_THROW(uf.find(2), ConfigError);
+}
+
+} // namespace
+} // namespace youtiao

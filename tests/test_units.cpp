@@ -1,0 +1,33 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(Units, FrequencyConversions)
+{
+    EXPECT_DOUBLE_EQ(50.0 * units::MHz, 0.05); // 50 MHz in GHz
+    EXPECT_DOUBLE_EQ(1.0 * units::GHz, 1.0);
+}
+
+TEST(Units, TimeConversions)
+{
+    EXPECT_DOUBLE_EQ(90.0 * units::us, 90e3); // 90 us in ns
+    EXPECT_DOUBLE_EQ(2.6 * units::ns, 2.6);
+}
+
+TEST(Units, LengthConversions)
+{
+    EXPECT_DOUBLE_EQ(30.0 * units::um, 0.03); // 30 um pitch in mm
+    EXPECT_DOUBLE_EQ(1.6 * units::mm, 1.6);
+}
+
+TEST(Units, MoneyConversions)
+{
+    EXPECT_DOUBLE_EQ(3.0 * units::kUSD, 3000.0);
+    EXPECT_DOUBLE_EQ(6.43 * units::MUSD, 6.43e6);
+}
+
+} // namespace
+} // namespace youtiao

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * youtiao_cli -- design the multiplexed wiring of a chip from the shell.
+ *
+ *   youtiao_cli [--topology NAME] [--rows N] [--cols N] [--seed S]
+ *               [--capacity K] [--theta T] [--compare]
+ *
+ * Topologies: square, hexagon, heavy-square, heavy-hexagon, low-density,
+ * grid (with --rows/--cols). Prints the full wiring report; --compare
+ * adds the dedicated-wiring baseline bill.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "chip/chip_io.hpp"
+#include "chip/topology_builder.hpp"
+#include "core/baselines.hpp"
+#include "core/report.hpp"
+#include "core/serialization.hpp"
+#include "core/youtiao.hpp"
+
+namespace {
+
+using namespace youtiao;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--topology square|hexagon|heavy-square|heavy-hexagon|"
+        "low-density|grid]\n"
+        "          [--rows N] [--cols N] [--seed S] [--capacity K] "
+        "[--theta T] [--compare]\n"
+        "          [--save FILE] [--chip FILE]\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string topology = "grid";
+    std::size_t rows = 6, cols = 6;
+    std::uint64_t seed = 2025;
+    std::size_t capacity = 5;
+    double theta = 4.0;
+    bool compare = false;
+    std::string save_path;
+    std::string chip_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--topology")
+            topology = next();
+        else if (arg == "--rows")
+            rows = std::strtoul(next(), nullptr, 10);
+        else if (arg == "--cols")
+            cols = std::strtoul(next(), nullptr, 10);
+        else if (arg == "--seed")
+            seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--capacity")
+            capacity = std::strtoul(next(), nullptr, 10);
+        else if (arg == "--theta")
+            theta = std::strtod(next(), nullptr);
+        else if (arg == "--compare")
+            compare = true;
+        else if (arg == "--save")
+            save_path = next();
+        else if (arg == "--chip")
+            chip_path = next();
+        else
+            usage(argv[0]);
+    }
+
+    TopologyFamily family;
+    if (topology == "square")
+        family = TopologyFamily::Square;
+    else if (topology == "hexagon")
+        family = TopologyFamily::Hexagon;
+    else if (topology == "heavy-square")
+        family = TopologyFamily::HeavySquare;
+    else if (topology == "heavy-hexagon")
+        family = TopologyFamily::HeavyHexagon;
+    else if (topology == "low-density")
+        family = TopologyFamily::LowDensity;
+    else if (topology == "grid")
+        family = TopologyFamily::SquareGrid;
+    else
+        usage(argv[0]);
+
+    try {
+        ChipTopology chip;
+        if (chip_path.empty()) {
+            chip = makeTopology(family, rows, cols);
+        } else {
+            std::ifstream in(chip_path);
+            if (!in) {
+                std::fprintf(stderr, "error: cannot read %s\n",
+                             chip_path.c_str());
+                return 1;
+            }
+            chip = loadChip(in);
+        }
+        Prng prng(seed);
+        const ChipCharacterization data = characterizeChip(chip, prng);
+
+        YoutiaoConfig config;
+        config.seed = seed;
+        config.fdm.lineCapacity = capacity;
+        config.tdm.parallelismThreshold = theta;
+        config.fit.forest.treeCount = 25;
+        const YoutiaoDesigner designer(config);
+        const YoutiaoDesign design = designer.design(chip, data);
+
+        std::fputs(wiringReport(chip, design, config).c_str(), stdout);
+        if (!save_path.empty()) {
+            std::ofstream out(save_path);
+            if (!out) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             save_path.c_str());
+                return 1;
+            }
+            saveDesign(out, design);
+            std::printf("\ndesign saved to %s\n", save_path.c_str());
+        }
+        if (compare) {
+            const BaselineDesign google = designGoogleWiring(chip, config);
+            std::printf("\n%s\n",
+                        costComparison(design, google, "dedicated")
+                            .c_str());
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
