@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_demux_proportion.dir/bench_fig16_demux_proportion.cpp.o"
+  "CMakeFiles/bench_fig16_demux_proportion.dir/bench_fig16_demux_proportion.cpp.o.d"
+  "bench_fig16_demux_proportion"
+  "bench_fig16_demux_proportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_demux_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

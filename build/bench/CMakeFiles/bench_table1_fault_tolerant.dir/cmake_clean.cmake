@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fault_tolerant.dir/bench_table1_fault_tolerant.cpp.o"
+  "CMakeFiles/bench_table1_fault_tolerant.dir/bench_table1_fault_tolerant.cpp.o.d"
+  "bench_table1_fault_tolerant"
+  "bench_table1_fault_tolerant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fault_tolerant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

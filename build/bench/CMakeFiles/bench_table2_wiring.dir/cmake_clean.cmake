@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_wiring.dir/bench_table2_wiring.cpp.o"
+  "CMakeFiles/bench_table2_wiring.dir/bench_table2_wiring.cpp.o.d"
+  "bench_table2_wiring"
+  "bench_table2_wiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_wiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

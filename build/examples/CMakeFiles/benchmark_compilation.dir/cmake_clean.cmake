@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_compilation.dir/benchmark_compilation.cpp.o"
+  "CMakeFiles/benchmark_compilation.dir/benchmark_compilation.cpp.o.d"
+  "benchmark_compilation"
+  "benchmark_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_audit.dir/failure_audit.cpp.o"
+  "CMakeFiles/failure_audit.dir/failure_audit.cpp.o.d"
+  "failure_audit"
+  "failure_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surface_code_design.dir/surface_code_design.cpp.o"
+  "CMakeFiles/surface_code_design.dir/surface_code_design.cpp.o.d"
+  "surface_code_design"
+  "surface_code_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surface_code_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

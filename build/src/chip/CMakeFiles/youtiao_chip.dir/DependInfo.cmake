@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chip/chip_io.cpp" "src/chip/CMakeFiles/youtiao_chip.dir/chip_io.cpp.o" "gcc" "src/chip/CMakeFiles/youtiao_chip.dir/chip_io.cpp.o.d"
+  "/root/repo/src/chip/surface_code_layout.cpp" "src/chip/CMakeFiles/youtiao_chip.dir/surface_code_layout.cpp.o" "gcc" "src/chip/CMakeFiles/youtiao_chip.dir/surface_code_layout.cpp.o.d"
+  "/root/repo/src/chip/topology.cpp" "src/chip/CMakeFiles/youtiao_chip.dir/topology.cpp.o" "gcc" "src/chip/CMakeFiles/youtiao_chip.dir/topology.cpp.o.d"
+  "/root/repo/src/chip/topology_builder.cpp" "src/chip/CMakeFiles/youtiao_chip.dir/topology_builder.cpp.o" "gcc" "src/chip/CMakeFiles/youtiao_chip.dir/topology_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/youtiao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/youtiao_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_chip.dir/chip_io.cpp.o"
+  "CMakeFiles/youtiao_chip.dir/chip_io.cpp.o.d"
+  "CMakeFiles/youtiao_chip.dir/surface_code_layout.cpp.o"
+  "CMakeFiles/youtiao_chip.dir/surface_code_layout.cpp.o.d"
+  "CMakeFiles/youtiao_chip.dir/topology.cpp.o"
+  "CMakeFiles/youtiao_chip.dir/topology.cpp.o.d"
+  "CMakeFiles/youtiao_chip.dir/topology_builder.cpp.o"
+  "CMakeFiles/youtiao_chip.dir/topology_builder.cpp.o.d"
+  "libyoutiao_chip.a"
+  "libyoutiao_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

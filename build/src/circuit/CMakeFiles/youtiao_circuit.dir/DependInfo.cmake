@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/benchmarks.cpp" "src/circuit/CMakeFiles/youtiao_circuit.dir/benchmarks.cpp.o" "gcc" "src/circuit/CMakeFiles/youtiao_circuit.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/youtiao_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/youtiao_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/scheduler.cpp" "src/circuit/CMakeFiles/youtiao_circuit.dir/scheduler.cpp.o" "gcc" "src/circuit/CMakeFiles/youtiao_circuit.dir/scheduler.cpp.o.d"
+  "/root/repo/src/circuit/surface_code_circuit.cpp" "src/circuit/CMakeFiles/youtiao_circuit.dir/surface_code_circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/youtiao_circuit.dir/surface_code_circuit.cpp.o.d"
+  "/root/repo/src/circuit/transpiler.cpp" "src/circuit/CMakeFiles/youtiao_circuit.dir/transpiler.cpp.o" "gcc" "src/circuit/CMakeFiles/youtiao_circuit.dir/transpiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/youtiao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/youtiao_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/youtiao_chip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

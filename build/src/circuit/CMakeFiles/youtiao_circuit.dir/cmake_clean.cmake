@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_circuit.dir/benchmarks.cpp.o"
+  "CMakeFiles/youtiao_circuit.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/youtiao_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/youtiao_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/youtiao_circuit.dir/scheduler.cpp.o"
+  "CMakeFiles/youtiao_circuit.dir/scheduler.cpp.o.d"
+  "CMakeFiles/youtiao_circuit.dir/surface_code_circuit.cpp.o"
+  "CMakeFiles/youtiao_circuit.dir/surface_code_circuit.cpp.o.d"
+  "CMakeFiles/youtiao_circuit.dir/transpiler.cpp.o"
+  "CMakeFiles/youtiao_circuit.dir/transpiler.cpp.o.d"
+  "libyoutiao_circuit.a"
+  "libyoutiao_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

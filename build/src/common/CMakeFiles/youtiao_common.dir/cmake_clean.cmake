@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_common.dir/prng.cpp.o"
+  "CMakeFiles/youtiao_common.dir/prng.cpp.o.d"
+  "CMakeFiles/youtiao_common.dir/statistics.cpp.o"
+  "CMakeFiles/youtiao_common.dir/statistics.cpp.o.d"
+  "libyoutiao_common.a"
+  "libyoutiao_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

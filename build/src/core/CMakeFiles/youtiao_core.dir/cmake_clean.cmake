@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_core.dir/baselines.cpp.o"
+  "CMakeFiles/youtiao_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/youtiao_core.dir/failure_analysis.cpp.o"
+  "CMakeFiles/youtiao_core.dir/failure_analysis.cpp.o.d"
+  "CMakeFiles/youtiao_core.dir/fault_tolerant.cpp.o"
+  "CMakeFiles/youtiao_core.dir/fault_tolerant.cpp.o.d"
+  "CMakeFiles/youtiao_core.dir/report.cpp.o"
+  "CMakeFiles/youtiao_core.dir/report.cpp.o.d"
+  "CMakeFiles/youtiao_core.dir/scalability.cpp.o"
+  "CMakeFiles/youtiao_core.dir/scalability.cpp.o.d"
+  "CMakeFiles/youtiao_core.dir/serialization.cpp.o"
+  "CMakeFiles/youtiao_core.dir/serialization.cpp.o.d"
+  "CMakeFiles/youtiao_core.dir/youtiao.cpp.o"
+  "CMakeFiles/youtiao_core.dir/youtiao.cpp.o.d"
+  "libyoutiao_core.a"
+  "libyoutiao_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

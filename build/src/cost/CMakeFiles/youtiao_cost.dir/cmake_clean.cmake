@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/youtiao_cost.dir/cost_model.cpp.o.d"
+  "libyoutiao_cost.a"
+  "libyoutiao_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_graph.dir/coloring.cpp.o"
+  "CMakeFiles/youtiao_graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/youtiao_graph.dir/graph.cpp.o"
+  "CMakeFiles/youtiao_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/youtiao_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/youtiao_graph.dir/shortest_path.cpp.o.d"
+  "libyoutiao_graph.a"
+  "libyoutiao_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

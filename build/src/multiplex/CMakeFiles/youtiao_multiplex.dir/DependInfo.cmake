@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multiplex/activity_grouping.cpp" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/activity_grouping.cpp.o" "gcc" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/activity_grouping.cpp.o.d"
+  "/root/repo/src/multiplex/fdm.cpp" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/fdm.cpp.o" "gcc" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/fdm.cpp.o.d"
+  "/root/repo/src/multiplex/frequency_allocation.cpp" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/frequency_allocation.cpp.o" "gcc" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/frequency_allocation.cpp.o.d"
+  "/root/repo/src/multiplex/parallelism_index.cpp" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/parallelism_index.cpp.o" "gcc" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/parallelism_index.cpp.o.d"
+  "/root/repo/src/multiplex/readout.cpp" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/readout.cpp.o" "gcc" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/readout.cpp.o.d"
+  "/root/repo/src/multiplex/tdm.cpp" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/tdm.cpp.o" "gcc" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/tdm.cpp.o.d"
+  "/root/repo/src/multiplex/tdm_scheduler.cpp" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/tdm_scheduler.cpp.o" "gcc" "src/multiplex/CMakeFiles/youtiao_multiplex.dir/tdm_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/youtiao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/youtiao_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/youtiao_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/youtiao_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/youtiao_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

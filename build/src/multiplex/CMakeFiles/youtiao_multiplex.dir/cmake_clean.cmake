@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_multiplex.dir/activity_grouping.cpp.o"
+  "CMakeFiles/youtiao_multiplex.dir/activity_grouping.cpp.o.d"
+  "CMakeFiles/youtiao_multiplex.dir/fdm.cpp.o"
+  "CMakeFiles/youtiao_multiplex.dir/fdm.cpp.o.d"
+  "CMakeFiles/youtiao_multiplex.dir/frequency_allocation.cpp.o"
+  "CMakeFiles/youtiao_multiplex.dir/frequency_allocation.cpp.o.d"
+  "CMakeFiles/youtiao_multiplex.dir/parallelism_index.cpp.o"
+  "CMakeFiles/youtiao_multiplex.dir/parallelism_index.cpp.o.d"
+  "CMakeFiles/youtiao_multiplex.dir/readout.cpp.o"
+  "CMakeFiles/youtiao_multiplex.dir/readout.cpp.o.d"
+  "CMakeFiles/youtiao_multiplex.dir/tdm.cpp.o"
+  "CMakeFiles/youtiao_multiplex.dir/tdm.cpp.o.d"
+  "CMakeFiles/youtiao_multiplex.dir/tdm_scheduler.cpp.o"
+  "CMakeFiles/youtiao_multiplex.dir/tdm_scheduler.cpp.o.d"
+  "libyoutiao_multiplex.a"
+  "libyoutiao_multiplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noise/crosstalk_data.cpp" "src/noise/CMakeFiles/youtiao_noise.dir/crosstalk_data.cpp.o" "gcc" "src/noise/CMakeFiles/youtiao_noise.dir/crosstalk_data.cpp.o.d"
+  "/root/repo/src/noise/crosstalk_model.cpp" "src/noise/CMakeFiles/youtiao_noise.dir/crosstalk_model.cpp.o" "gcc" "src/noise/CMakeFiles/youtiao_noise.dir/crosstalk_model.cpp.o.d"
+  "/root/repo/src/noise/decision_tree.cpp" "src/noise/CMakeFiles/youtiao_noise.dir/decision_tree.cpp.o" "gcc" "src/noise/CMakeFiles/youtiao_noise.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/noise/equivalent_distance.cpp" "src/noise/CMakeFiles/youtiao_noise.dir/equivalent_distance.cpp.o" "gcc" "src/noise/CMakeFiles/youtiao_noise.dir/equivalent_distance.cpp.o.d"
+  "/root/repo/src/noise/noise_model.cpp" "src/noise/CMakeFiles/youtiao_noise.dir/noise_model.cpp.o" "gcc" "src/noise/CMakeFiles/youtiao_noise.dir/noise_model.cpp.o.d"
+  "/root/repo/src/noise/random_forest.cpp" "src/noise/CMakeFiles/youtiao_noise.dir/random_forest.cpp.o" "gcc" "src/noise/CMakeFiles/youtiao_noise.dir/random_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/youtiao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/youtiao_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/youtiao_chip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

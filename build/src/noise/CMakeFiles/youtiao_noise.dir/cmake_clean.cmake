@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_noise.dir/crosstalk_data.cpp.o"
+  "CMakeFiles/youtiao_noise.dir/crosstalk_data.cpp.o.d"
+  "CMakeFiles/youtiao_noise.dir/crosstalk_model.cpp.o"
+  "CMakeFiles/youtiao_noise.dir/crosstalk_model.cpp.o.d"
+  "CMakeFiles/youtiao_noise.dir/decision_tree.cpp.o"
+  "CMakeFiles/youtiao_noise.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/youtiao_noise.dir/equivalent_distance.cpp.o"
+  "CMakeFiles/youtiao_noise.dir/equivalent_distance.cpp.o.d"
+  "CMakeFiles/youtiao_noise.dir/noise_model.cpp.o"
+  "CMakeFiles/youtiao_noise.dir/noise_model.cpp.o.d"
+  "CMakeFiles/youtiao_noise.dir/random_forest.cpp.o"
+  "CMakeFiles/youtiao_noise.dir/random_forest.cpp.o.d"
+  "libyoutiao_noise.a"
+  "libyoutiao_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

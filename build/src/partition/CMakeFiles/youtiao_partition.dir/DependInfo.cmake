@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/generative_partition.cpp" "src/partition/CMakeFiles/youtiao_partition.dir/generative_partition.cpp.o" "gcc" "src/partition/CMakeFiles/youtiao_partition.dir/generative_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/youtiao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/youtiao_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/youtiao_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/youtiao_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiplex/CMakeFiles/youtiao_multiplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/youtiao_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_partition.dir/generative_partition.cpp.o"
+  "CMakeFiles/youtiao_partition.dir/generative_partition.cpp.o.d"
+  "libyoutiao_partition.a"
+  "libyoutiao_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

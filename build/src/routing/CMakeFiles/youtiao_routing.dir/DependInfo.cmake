@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/astar_router.cpp" "src/routing/CMakeFiles/youtiao_routing.dir/astar_router.cpp.o" "gcc" "src/routing/CMakeFiles/youtiao_routing.dir/astar_router.cpp.o.d"
+  "/root/repo/src/routing/chip_router.cpp" "src/routing/CMakeFiles/youtiao_routing.dir/chip_router.cpp.o" "gcc" "src/routing/CMakeFiles/youtiao_routing.dir/chip_router.cpp.o.d"
+  "/root/repo/src/routing/drc.cpp" "src/routing/CMakeFiles/youtiao_routing.dir/drc.cpp.o" "gcc" "src/routing/CMakeFiles/youtiao_routing.dir/drc.cpp.o.d"
+  "/root/repo/src/routing/grid.cpp" "src/routing/CMakeFiles/youtiao_routing.dir/grid.cpp.o" "gcc" "src/routing/CMakeFiles/youtiao_routing.dir/grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/youtiao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/youtiao_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiplex/CMakeFiles/youtiao_multiplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/youtiao_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/youtiao_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/youtiao_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_routing.dir/astar_router.cpp.o"
+  "CMakeFiles/youtiao_routing.dir/astar_router.cpp.o.d"
+  "CMakeFiles/youtiao_routing.dir/chip_router.cpp.o"
+  "CMakeFiles/youtiao_routing.dir/chip_router.cpp.o.d"
+  "CMakeFiles/youtiao_routing.dir/drc.cpp.o"
+  "CMakeFiles/youtiao_routing.dir/drc.cpp.o.d"
+  "CMakeFiles/youtiao_routing.dir/grid.cpp.o"
+  "CMakeFiles/youtiao_routing.dir/grid.cpp.o.d"
+  "libyoutiao_routing.a"
+  "libyoutiao_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

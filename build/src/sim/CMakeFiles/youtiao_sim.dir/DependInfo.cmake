@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fidelity_estimator.cpp" "src/sim/CMakeFiles/youtiao_sim.dir/fidelity_estimator.cpp.o" "gcc" "src/sim/CMakeFiles/youtiao_sim.dir/fidelity_estimator.cpp.o.d"
+  "/root/repo/src/sim/noisy_sampler.cpp" "src/sim/CMakeFiles/youtiao_sim.dir/noisy_sampler.cpp.o" "gcc" "src/sim/CMakeFiles/youtiao_sim.dir/noisy_sampler.cpp.o.d"
+  "/root/repo/src/sim/pulse.cpp" "src/sim/CMakeFiles/youtiao_sim.dir/pulse.cpp.o" "gcc" "src/sim/CMakeFiles/youtiao_sim.dir/pulse.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/youtiao_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/youtiao_sim.dir/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/youtiao_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/youtiao_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/youtiao_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/youtiao_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/youtiao_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

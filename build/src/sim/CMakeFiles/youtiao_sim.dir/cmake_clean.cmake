@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_sim.dir/fidelity_estimator.cpp.o"
+  "CMakeFiles/youtiao_sim.dir/fidelity_estimator.cpp.o.d"
+  "CMakeFiles/youtiao_sim.dir/noisy_sampler.cpp.o"
+  "CMakeFiles/youtiao_sim.dir/noisy_sampler.cpp.o.d"
+  "CMakeFiles/youtiao_sim.dir/pulse.cpp.o"
+  "CMakeFiles/youtiao_sim.dir/pulse.cpp.o.d"
+  "CMakeFiles/youtiao_sim.dir/statevector.cpp.o"
+  "CMakeFiles/youtiao_sim.dir/statevector.cpp.o.d"
+  "libyoutiao_sim.a"
+  "libyoutiao_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

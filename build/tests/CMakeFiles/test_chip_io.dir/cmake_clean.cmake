@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chip_io.dir/test_chip_io.cpp.o"
+  "CMakeFiles/test_chip_io.dir/test_chip_io.cpp.o.d"
+  "test_chip_io"
+  "test_chip_io.pdb"
+  "test_chip_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chip_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crosstalk_data.dir/test_crosstalk_data.cpp.o"
+  "CMakeFiles/test_crosstalk_data.dir/test_crosstalk_data.cpp.o.d"
+  "test_crosstalk_data"
+  "test_crosstalk_data.pdb"
+  "test_crosstalk_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crosstalk_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

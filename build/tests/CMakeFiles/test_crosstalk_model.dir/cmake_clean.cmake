@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crosstalk_model.dir/test_crosstalk_model.cpp.o"
+  "CMakeFiles/test_crosstalk_model.dir/test_crosstalk_model.cpp.o.d"
+  "test_crosstalk_model"
+  "test_crosstalk_model.pdb"
+  "test_crosstalk_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crosstalk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

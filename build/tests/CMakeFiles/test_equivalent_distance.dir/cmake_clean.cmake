@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equivalent_distance.dir/test_equivalent_distance.cpp.o"
+  "CMakeFiles/test_equivalent_distance.dir/test_equivalent_distance.cpp.o.d"
+  "test_equivalent_distance"
+  "test_equivalent_distance.pdb"
+  "test_equivalent_distance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equivalent_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

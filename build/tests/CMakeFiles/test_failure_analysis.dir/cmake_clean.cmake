@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_analysis.dir/test_failure_analysis.cpp.o"
+  "CMakeFiles/test_failure_analysis.dir/test_failure_analysis.cpp.o.d"
+  "test_failure_analysis"
+  "test_failure_analysis.pdb"
+  "test_failure_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_tolerant.dir/test_fault_tolerant.cpp.o"
+  "CMakeFiles/test_fault_tolerant.dir/test_fault_tolerant.cpp.o.d"
+  "test_fault_tolerant"
+  "test_fault_tolerant.pdb"
+  "test_fault_tolerant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_tolerant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

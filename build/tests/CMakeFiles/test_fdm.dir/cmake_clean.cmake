@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fdm.dir/test_fdm.cpp.o"
+  "CMakeFiles/test_fdm.dir/test_fdm.cpp.o.d"
+  "test_fdm"
+  "test_fdm.pdb"
+  "test_fdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

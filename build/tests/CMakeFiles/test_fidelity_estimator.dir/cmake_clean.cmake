@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fidelity_estimator.dir/test_fidelity_estimator.cpp.o"
+  "CMakeFiles/test_fidelity_estimator.dir/test_fidelity_estimator.cpp.o.d"
+  "test_fidelity_estimator"
+  "test_fidelity_estimator.pdb"
+  "test_fidelity_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fidelity_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

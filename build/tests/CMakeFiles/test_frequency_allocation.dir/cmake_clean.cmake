@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequency_allocation.dir/test_frequency_allocation.cpp.o"
+  "CMakeFiles/test_frequency_allocation.dir/test_frequency_allocation.cpp.o.d"
+  "test_frequency_allocation"
+  "test_frequency_allocation.pdb"
+  "test_frequency_allocation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequency_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noisy_sampler.dir/test_noisy_sampler.cpp.o"
+  "CMakeFiles/test_noisy_sampler.dir/test_noisy_sampler.cpp.o.d"
+  "test_noisy_sampler"
+  "test_noisy_sampler.pdb"
+  "test_noisy_sampler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noisy_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallelism_index.dir/test_parallelism_index.cpp.o"
+  "CMakeFiles/test_parallelism_index.dir/test_parallelism_index.cpp.o.d"
+  "test_parallelism_index"
+  "test_parallelism_index.pdb"
+  "test_parallelism_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallelism_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reproduction_bands.dir/test_reproduction_bands.cpp.o"
+  "CMakeFiles/test_reproduction_bands.dir/test_reproduction_bands.cpp.o.d"
+  "test_reproduction_bands"
+  "test_reproduction_bands.pdb"
+  "test_reproduction_bands[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reproduction_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

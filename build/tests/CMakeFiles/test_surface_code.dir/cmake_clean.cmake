@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surface_code.dir/test_surface_code.cpp.o"
+  "CMakeFiles/test_surface_code.dir/test_surface_code.cpp.o.d"
+  "test_surface_code"
+  "test_surface_code.pdb"
+  "test_surface_code[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surface_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

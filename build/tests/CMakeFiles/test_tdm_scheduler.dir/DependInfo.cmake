@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tdm_scheduler.cpp" "tests/CMakeFiles/test_tdm_scheduler.dir/test_tdm_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_tdm_scheduler.dir/test_tdm_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/youtiao_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/youtiao_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/youtiao_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/youtiao_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/youtiao_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiplex/CMakeFiles/youtiao_multiplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/youtiao_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/youtiao_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/youtiao_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/youtiao_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/youtiao_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_youtiao.dir/test_youtiao.cpp.o"
+  "CMakeFiles/test_youtiao.dir/test_youtiao.cpp.o.d"
+  "test_youtiao"
+  "test_youtiao.pdb"
+  "test_youtiao[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_youtiao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

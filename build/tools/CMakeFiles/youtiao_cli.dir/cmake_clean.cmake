@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtiao_cli.dir/youtiao_cli.cpp.o"
+  "CMakeFiles/youtiao_cli.dir/youtiao_cli.cpp.o.d"
+  "youtiao_cli"
+  "youtiao_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtiao_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
