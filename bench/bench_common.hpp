@@ -9,13 +9,29 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "chip/topology.hpp"
+#include "common/parallel.hpp"
 #include "core/config.hpp"
 #include "core/youtiao.hpp"
 #include "noise/crosstalk_data.hpp"
 
 namespace youtiao::bench {
+
+/**
+ * Fan a per-configuration computation (one chip size, one topology
+ * family, one sweep point) across the shared thread pool and return the
+ * rows in input order, so tables print identically to a serial run.
+ * Honors `YOUTIAO_THREADS` (1 = serial) like every other parallel path.
+ */
+template <typename Item, typename Fn>
+auto
+tableRows(const std::vector<Item> &items, Fn &&fn)
+{
+    return parallelMap(items, std::forward<Fn>(fn));
+}
 
 /** Fit-free YOUTIAO design (Sections 4.2-4.4 on measured matrices),
  *  used by the count/cost reproductions where the random-forest stage is

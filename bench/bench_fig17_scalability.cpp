@@ -32,9 +32,13 @@ printPartA()
     bench::rule();
     std::printf("%8s %10s %10s %10s\n", "#qubits", "Google", "YOUTIAO",
                 "reduction");
-    for (std::size_t n : {10, 30, 100, 150, 300, 600, 1000}) {
-        const ScalePoint p = estimateSquareSystem(n);
-        std::printf("%8zu %10zu %10zu %9.2fx\n", n, p.googleCoax,
+    const std::vector<std::size_t> sizes{10, 30, 100, 150, 300, 600,
+                                         1000};
+    const std::vector<ScalePoint> points = bench::tableRows(
+        sizes, [](std::size_t n) { return estimateSquareSystem(n); });
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const ScalePoint &p = points[i];
+        std::printf("%8zu %10zu %10zu %9.2fx\n", sizes[i], p.googleCoax,
                     p.youtiaoCoax, p.coaxReduction());
     }
     std::printf("(paper at 150 qubits: 613 -> 267, 2.3x)\n\n");
@@ -80,8 +84,11 @@ printPartC()
     bench::rule();
     std::printf("%8s %10s %12s %10s %10s\n", "copies", "qubits",
                 "IBM cables", "YOUTIAO", "reduction");
-    for (std::size_t copies : {1, 5, 10, 25}) {
-        const ChipletComparison cmp = compareIbmChiplet(copies);
+    const std::vector<std::size_t> copies_sweep{1, 5, 10, 25};
+    const std::vector<ChipletComparison> rows = bench::tableRows(
+        copies_sweep,
+        [](std::size_t copies) { return compareIbmChiplet(copies); });
+    for (const ChipletComparison &cmp : rows) {
         std::printf("%8zu %10zu %12zu %10zu %9.2fx\n", cmp.copies,
                     cmp.totalQubits, cmp.ibmCoax, cmp.youtiaoCoax,
                     cmp.cableReduction());
@@ -96,8 +103,12 @@ printPartD()
     bench::rule();
     std::printf("%8s %10s %10s %10s %14s\n", "#qubits", "Google",
                 "YOUTIAO", "fraction", "savings");
-    for (std::size_t n : {1000, 10000, 50000, 100000}) {
-        const ScalePoint p = estimateSquareSystem(n);
+    const std::vector<std::size_t> sizes{1000, 10000, 50000, 100000};
+    const std::vector<ScalePoint> points = bench::tableRows(
+        sizes, [](std::size_t n) { return estimateSquareSystem(n); });
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const std::size_t n = sizes[i];
+        const ScalePoint &p = points[i];
         std::printf("%8zu %10zu %10zu %9.0f%% %14s\n", n, p.googleCoax,
                     p.youtiaoCoax,
                     100.0 * static_cast<double>(p.youtiaoCoax) /

@@ -68,6 +68,13 @@ youtiaoSide(const ChipTopology &chip, const YoutiaoConfig &config)
     return side;
 }
 
+struct FamilyRow
+{
+    std::size_t qubits = 0;
+    SideMetrics google;
+    SideMetrics ours;
+};
+
 void
 printTable()
 {
@@ -78,17 +85,26 @@ printTable()
                 "topology", "#qubit", "#XY", "#Z", "#DEMUX", "#DAC",
                 "cost", "#iface", "area");
     bench::rule(100);
-    for (TopologyFamily family : kFamilies) {
-        const ChipTopology chip = makeTopology(family);
-        const SideMetrics google = googleSide(chip, config);
+    const std::vector<FamilyRow> rows =
+        bench::tableRows(kFamilies, [&](TopologyFamily family) {
+            const ChipTopology chip = makeTopology(family);
+            FamilyRow row;
+            row.qubits = chip.qubitCount();
+            row.google = googleSide(chip, config);
+            row.ours = youtiaoSide(chip, config);
+            return row;
+        });
+    for (std::size_t f = 0; f < kFamilies.size(); ++f) {
+        const FamilyRow &row = rows[f];
+        const SideMetrics &google = row.google;
+        const SideMetrics &ours = row.ours;
         std::printf("%-14s %6zu | %5zu %5zu %6zu %5zu %9s %7zu %6.2f | "
                     "Google\n",
-                    topologyFamilyName(family), chip.qubitCount(),
+                    topologyFamilyName(kFamilies[f]), row.qubits,
                     google.counts.xyLines, google.counts.zLines,
                     google.counts.demuxSelectLines, google.counts.dacs(),
                     bench::money(google.costUsd).c_str(),
                     google.interfaces, google.areaMm2);
-        const SideMetrics ours = youtiaoSide(chip, config);
         std::printf("%-14s %6s | %5zu %5zu %6zu %5zu %9s %7zu %6.2f | "
                     "YOUTIAO (%.1fx cost, %.1fx area)\n",
                     "", "", ours.counts.xyLines, ours.counts.zLines,

@@ -6,8 +6,6 @@
 
 namespace youtiao {
 
-namespace {
-
 std::uint64_t
 splitMix64(std::uint64_t &x)
 {
@@ -17,6 +15,18 @@ splitMix64(std::uint64_t &x)
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     return z ^ (z >> 31);
 }
+
+std::uint64_t
+taskSeed(std::uint64_t root_seed, std::uint64_t task_index)
+{
+    // Jump the SplitMix64 state ahead by task_index increments, then take
+    // one output: element task_index + 1 of the sequence seeded at
+    // root_seed, without iterating.
+    std::uint64_t state = root_seed + task_index * 0x9E3779B97F4A7C15ull;
+    return splitMix64(state);
+}
+
+namespace {
 
 std::uint64_t
 rotl(std::uint64_t v, int k)

@@ -21,6 +21,22 @@
 namespace youtiao {
 
 /**
+ * One step of the SplitMix64 sequence: advances @p state and returns the
+ * mixed output. Public so parallel code can derive per-task streams.
+ */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * Seed for parallel task @p task_index under @p root_seed: the
+ * (task_index + 1)-th output of the SplitMix64 sequence started at
+ * @p root_seed. Tasks seeded this way get decorrelated streams that
+ * depend only on the root seed and the task's logical index - never on
+ * which thread runs the task - so parallel runs stay bit-identical to
+ * serial ones.
+ */
+std::uint64_t taskSeed(std::uint64_t root_seed, std::uint64_t task_index);
+
+/**
  * Deterministic 64-bit PRNG (xoshiro256**) with convenience samplers.
  *
  * Not thread-safe; give each thread (or each experiment) its own instance,

@@ -1,8 +1,10 @@
 #include "noise/random_forest.hpp"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace youtiao {
 
@@ -25,16 +27,24 @@ RandomForest::fit(std::span<const double> features,
     const auto draw_count = static_cast<std::size_t>(
         std::ceil(config_.bootstrapFraction * static_cast<double>(n)));
 
+    // Each tree bootstraps from its own child stream whose seed is drawn
+    // serially here, so the fitted forest is bit-identical no matter how
+    // many threads share the per-tree fits.
+    std::vector<std::uint64_t> seeds(config_.treeCount);
+    for (std::uint64_t &seed : seeds)
+        seed = prng.next();
+
     trees_.clear();
     trees_.reserve(config_.treeCount);
-    std::vector<std::size_t> bag(draw_count);
-    for (std::size_t t = 0; t < config_.treeCount; ++t) {
+    for (std::size_t t = 0; t < config_.treeCount; ++t)
+        trees_.emplace_back(config_.tree);
+    parallelFor(0, config_.treeCount, [&](std::size_t t) {
+        Prng local(seeds[t]);
+        std::vector<std::size_t> bag(draw_count);
         for (std::size_t k = 0; k < draw_count; ++k)
-            bag[k] = prng.uniformInt(n);
-        DecisionTree tree(config_.tree);
-        tree.fit(features, feature_count, targets, bag);
-        trees_.push_back(std::move(tree));
-    }
+            bag[k] = local.uniformInt(n);
+        trees_[t].fit(features, feature_count, targets, bag);
+    });
 }
 
 double

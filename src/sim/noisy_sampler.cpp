@@ -1,12 +1,20 @@
 #include "sim/noisy_sampler.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace youtiao {
 
 namespace {
+
+/** Shots per parallel batch. The batch decomposition is fixed (it never
+ *  depends on the thread count), and batch b draws from its own stream
+ *  seeded with taskSeed(root, b), so the histogram is bit-identical for
+ *  any YOUTIAO_THREADS setting. */
+constexpr std::size_t kShotBatch = 512;
 
 double
 baseError(const Gate &g, const NoiseModelConfig &cfg)
@@ -110,15 +118,36 @@ sampleNoisyExecution(const QuantumCircuit &qc, const Schedule &schedule,
 
     SamplingResult result;
     result.shots = shots;
-    for (std::size_t shot = 0; shot < shots; ++shot) {
+
+    // One draw advances the caller's generator deterministically; all
+    // shot randomness comes from per-batch child streams derived from it.
+    const std::uint64_t root = prng.next();
+    struct BatchTally
+    {
         std::size_t events = 0;
-        for (double p : channels) {
-            if (prng.bernoulli(p))
-                ++events;
+        std::size_t cleanShots = 0;
+    };
+    const std::size_t batches = (shots + kShotBatch - 1) / kShotBatch;
+    std::vector<BatchTally> tallies(batches);
+    parallelFor(0, batches, [&](std::size_t b) {
+        Prng local(taskSeed(root, b));
+        const std::size_t lo = b * kShotBatch;
+        const std::size_t hi = std::min(shots, lo + kShotBatch);
+        BatchTally &tally = tallies[b];
+        for (std::size_t shot = lo; shot < hi; ++shot) {
+            std::size_t events = 0;
+            for (double p : channels) {
+                if (local.bernoulli(p))
+                    ++events;
+            }
+            tally.events += events;
+            if (events == 0)
+                ++tally.cleanShots;
         }
-        result.totalErrorEvents += events;
-        if (events == 0)
-            ++result.errorFreeShots;
+    });
+    for (const BatchTally &tally : tallies) {
+        result.totalErrorEvents += tally.events;
+        result.errorFreeShots += tally.cleanShots;
     }
     return result;
 }

@@ -1,14 +1,29 @@
 #include "sim/statevector.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace youtiao {
 
 namespace {
 
 using Cplx = std::complex<double>;
+
+/** Amplitudes per chunk in the parallel gate kernels. Small states run
+ *  inline through the pool's serial fallback; the cutoff keeps chunk
+ *  bookkeeping negligible against the complex arithmetic. */
+constexpr std::size_t kAmpGrain = 1u << 12;
+
+std::size_t
+ampGrain(std::size_t items)
+{
+    return std::max(kAmpGrain,
+                    detail::defaultGrain(
+                        items, ThreadPool::global().threadCount()));
+}
 
 void
 rotationMatrix(GateKind kind, double angle, Cplx (&u)[2][2])
@@ -55,17 +70,23 @@ StateVector::applySingleQubit(std::size_t qubit, const Cplx (&u)[2][2])
 {
     requireConfig(qubit < qubitCount_, "qubit out of range");
     const std::size_t stride = std::size_t{1} << qubit;
-    for (std::size_t base = 0; base < amps_.size();
-         base += 2 * stride) {
-        for (std::size_t k = 0; k < stride; ++k) {
-            const std::size_t i0 = base + k;
-            const std::size_t i1 = i0 + stride;
-            const Cplx a0 = amps_[i0];
-            const Cplx a1 = amps_[i1];
-            amps_[i0] = u[0][0] * a0 + u[0][1] * a1;
-            amps_[i1] = u[1][0] * a0 + u[1][1] * a1;
-        }
-    }
+    // Pair p couples amplitudes i0 and i0 + stride; every pair is
+    // independent, so chunks of the pair index space partition the work
+    // and the parallel result is bit-identical to the serial one.
+    const std::size_t pairs = amps_.size() / 2;
+    parallelChunks(0, pairs, ampGrain(pairs),
+                   [&](std::size_t b, std::size_t e) {
+                       for (std::size_t p = b; p < e; ++p) {
+                           const std::size_t i0 =
+                               ((p & ~(stride - 1)) << 1) |
+                               (p & (stride - 1));
+                           const std::size_t i1 = i0 + stride;
+                           const Cplx a0 = amps_[i0];
+                           const Cplx a1 = amps_[i1];
+                           amps_[i0] = u[0][0] * a0 + u[0][1] * a1;
+                           amps_[i1] = u[1][0] * a0 + u[1][1] * a1;
+                       }
+                   });
 }
 
 void
@@ -75,10 +96,13 @@ StateVector::applyCz(std::size_t a, std::size_t b)
                   "CZ operands invalid");
     const std::size_t mask =
         (std::size_t{1} << a) | (std::size_t{1} << b);
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        if ((i & mask) == mask)
-            amps_[i] = -amps_[i];
-    }
+    parallelChunks(0, amps_.size(), ampGrain(amps_.size()),
+                   [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                           if ((i & mask) == mask)
+                               amps_[i] = -amps_[i];
+                       }
+                   });
 }
 
 void

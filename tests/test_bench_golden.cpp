@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Golden regression for the bench harness's parallel fan-out: the
+ * Table 2 plan construction (YOUTIAO design from measured matrices for
+ * all five topology families) is pushed through bench::tableRows - the
+ * same path bench_table2_wiring prints - and checked two ways:
+ *   1. the parallel rows are bit-identical to a serial (one-lane) run;
+ *   2. the integer wiring counts match goldens recorded from the serial
+ *      seed implementation, so a scheduling or seeding regression in
+ *      the parallel layer cannot silently shift the published tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chip/topology_builder.hpp"
+
+namespace youtiao {
+namespace {
+
+struct PlanRow
+{
+    std::size_t qubits = 0;
+    std::size_t xyLines = 0;
+    std::size_t zLines = 0;
+    std::size_t demuxSelectLines = 0;
+    std::size_t dacs = 0;
+    std::size_t interfaces = 0;
+    double costUsd = 0.0;
+};
+
+const std::vector<TopologyFamily> kFamilies{
+    TopologyFamily::Square, TopologyFamily::Hexagon,
+    TopologyFamily::HeavySquare, TopologyFamily::HeavyHexagon,
+    TopologyFamily::LowDensity};
+
+PlanRow
+constructPlan(TopologyFamily family)
+{
+    const ChipTopology chip = makeTopology(family);
+    const YoutiaoConfig config;
+    // Same seeding scheme as bench_table2_wiring's youtiaoSide().
+    Prng prng(0x7AB1E2 + chip.qubitCount());
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    const YoutiaoDesign design =
+        bench::designFromMeasurements(chip, data, config);
+    PlanRow row;
+    row.qubits = chip.qubitCount();
+    row.xyLines = design.counts.xyLines;
+    row.zLines = design.counts.zLines;
+    row.demuxSelectLines = design.counts.demuxSelectLines;
+    row.dacs = design.counts.dacs();
+    row.interfaces = design.counts.interfaces();
+    row.costUsd = design.costUsd;
+    return row;
+}
+
+std::vector<PlanRow>
+constructAllPlans()
+{
+    return bench::tableRows(kFamilies, constructPlan);
+}
+
+TEST(BenchGolden, ParallelPlanConstructionMatchesSerial)
+{
+    ThreadPool::setGlobalThreadCount(1);
+    const std::vector<PlanRow> serial = constructAllPlans();
+    ThreadPool::setGlobalThreadCount(4);
+    const std::vector<PlanRow> parallel = constructAllPlans();
+    ThreadPool::setGlobalThreadCount(0);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t f = 0; f < serial.size(); ++f) {
+        EXPECT_EQ(parallel[f].qubits, serial[f].qubits);
+        EXPECT_EQ(parallel[f].xyLines, serial[f].xyLines);
+        EXPECT_EQ(parallel[f].zLines, serial[f].zLines);
+        EXPECT_EQ(parallel[f].demuxSelectLines,
+                  serial[f].demuxSelectLines);
+        EXPECT_EQ(parallel[f].dacs, serial[f].dacs);
+        EXPECT_EQ(parallel[f].interfaces, serial[f].interfaces);
+        EXPECT_EQ(parallel[f].costUsd, serial[f].costUsd)
+            << "cost must be bit-identical, family " << f;
+    }
+}
+
+TEST(BenchGolden, PlanCountsMatchSerialSeedGoldens)
+{
+    // Golden integer counts recorded from the serial seed implementation
+    // (pre-parallelism), one row per family in kFamilies order:
+    // {qubits, xyLines, zLines, demuxSelectLines, dacs, interfaces}.
+    const std::size_t golden[5][6] = {
+        {9, 2, 8, 10, 23, 22},
+        {16, 4, 11, 17, 36, 34},
+        {21, 5, 13, 22, 46, 43},
+        {21, 5, 12, 22, 45, 42},
+        {18, 4, 11, 19, 39, 37},
+    };
+    const std::vector<PlanRow> rows = constructAllPlans();
+    ASSERT_EQ(rows.size(), 5u);
+    for (std::size_t f = 0; f < rows.size(); ++f) {
+        EXPECT_EQ(rows[f].qubits, golden[f][0]) << "family " << f;
+        EXPECT_EQ(rows[f].xyLines, golden[f][1]) << "family " << f;
+        EXPECT_EQ(rows[f].zLines, golden[f][2]) << "family " << f;
+        EXPECT_EQ(rows[f].demuxSelectLines, golden[f][3])
+            << "family " << f;
+        EXPECT_EQ(rows[f].dacs, golden[f][4]) << "family " << f;
+        EXPECT_EQ(rows[f].interfaces, golden[f][5]) << "family " << f;
+    }
+}
+
+} // namespace
+} // namespace youtiao
