@@ -8,17 +8,61 @@
 #define YOUTIAO_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "chip/topology.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "core/config.hpp"
 #include "core/youtiao.hpp"
 #include "noise/crosstalk_data.hpp"
 
 namespace youtiao::bench {
+
+/**
+ * Machine-readable perf record for one bench binary. Construct at the
+ * top of main() (resets the metrics registry so the record covers only
+ * this run); the destructor writes the merged phase timers and counters
+ * to `BENCH_<name>.json` (schema "youtiao-perf-1", see
+ * docs/FILE_FORMATS.md) in the current directory, or under
+ * `$YOUTIAO_PERF_DIR` when set. Every subsequent optimization PR is
+ * judged against these records.
+ */
+class PerfReport
+{
+  public:
+    explicit PerfReport(std::string name)
+        : name_(std::move(name))
+    {
+        metrics::Registry::global().reset();
+    }
+
+    ~PerfReport()
+    {
+        const char *dir = std::getenv("YOUTIAO_PERF_DIR");
+        std::string path =
+            dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : "";
+        path += "BENCH_" + name_ + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "warning: cannot write perf record %s\n",
+                         path.c_str());
+            return;
+        }
+        out << metrics::jsonReport(name_);
+        std::fprintf(stderr, "perf record written to %s\n", path.c_str());
+    }
+
+    PerfReport(const PerfReport &) = delete;
+    PerfReport &operator=(const PerfReport &) = delete;
+
+  private:
+    std::string name_;
+};
 
 /**
  * Fan a per-configuration computation (one chip size, one topology

@@ -145,6 +145,7 @@ BENCHMARK(BM_GridConstruction)->Arg(1000)->Arg(100000)
 int
 main(int argc, char **argv)
 {
+    youtiao::bench::PerfReport perf("fig17_scalability");
     printPartA();
     printPartB();
     printPartC();

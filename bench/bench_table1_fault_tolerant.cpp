@@ -144,6 +144,7 @@ BENCHMARK(BM_TdmScheduleEcCycles)->Arg(3)->Arg(5)
 int
 main(int argc, char **argv)
 {
+    youtiao::bench::PerfReport perf("table1_fault_tolerant");
     printTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,69 @@
+#include "common/cli_parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+namespace {
+
+std::string
+quoted(const char *what, const char *text)
+{
+    return std::string(what) + ": '" + text + "'";
+}
+
+} // namespace
+
+std::uint64_t
+parseUint64Arg(const char *text, const char *what)
+{
+    requireConfig(text != nullptr && *text != '\0',
+                  std::string(what) + ": empty value");
+    // strtoull accepts leading whitespace and silently wraps "-1";
+    // insist on pure digits so both paths are closed.
+    for (const char *p = text; *p != '\0'; ++p)
+        requireConfig(*p >= '0' && *p <= '9',
+                      quoted(what, text) +
+                          " is not a non-negative integer");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    requireConfig(errno != ERANGE && *end == '\0',
+                  quoted(what, text) + " is out of range");
+    return v;
+}
+
+std::size_t
+parseSizeArg(const char *text, const char *what, std::size_t min)
+{
+    const std::uint64_t v = parseUint64Arg(text, what);
+    requireConfig(v <= std::numeric_limits<std::size_t>::max(),
+                  quoted(what, text) + " is out of range");
+    requireConfig(v >= min, quoted(what, text) + " must be at least " +
+                                std::to_string(min));
+    return static_cast<std::size_t>(v);
+}
+
+double
+parsePositiveDoubleArg(const char *text, const char *what)
+{
+    requireConfig(text != nullptr && *text != '\0',
+                  std::string(what) + ": empty value");
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    requireConfig(end != text && *end == '\0',
+                  quoted(what, text) + " is not a number");
+    requireConfig(errno != ERANGE, quoted(what, text) + " is out of range");
+    requireConfig(std::isfinite(v) && v > 0.0,
+                  quoted(what, text) + " must be a positive finite number");
+    return v;
+}
+
+} // namespace youtiao

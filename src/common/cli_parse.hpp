@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Checked numeric parsing for command-line arguments.
+ *
+ * The bare strtoul/strtod calls these replace silently turned `--rows
+ * abc` into 0 and accepted out-of-range or negative values; every
+ * helper here rejects non-numeric text, trailing junk, overflow, and
+ * (where requested) zero, throwing ConfigError with the offending
+ * option named so the CLI can report it and exit with a usage error.
+ */
+
+#ifndef YOUTIAO_COMMON_CLI_PARSE_HPP
+#define YOUTIAO_COMMON_CLI_PARSE_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace youtiao {
+
+/**
+ * Parse @p text as a non-negative decimal integer. @p what names the
+ * option in error messages ("--seed"). Throws ConfigError on empty
+ * input, any non-digit character (signs included), or overflow.
+ */
+std::uint64_t parseUint64Arg(const char *text, const char *what);
+
+/**
+ * Parse @p text as a decimal integer >= @p min (default 1, so plain
+ * calls reject zero). Throws ConfigError like parseUint64Arg, and when
+ * the value is below @p min or does not fit std::size_t.
+ */
+std::size_t parseSizeArg(const char *text, const char *what,
+                         std::size_t min = 1);
+
+/**
+ * Parse @p text as a finite, strictly positive floating-point number.
+ * Throws ConfigError on non-numeric text, trailing junk, overflow,
+ * NaN/inf, or values <= 0.
+ */
+double parsePositiveDoubleArg(const char *text, const char *what);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_COMMON_CLI_PARSE_HPP

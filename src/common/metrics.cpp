@@ -1,0 +1,244 @@
+#include "common/metrics.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/parallel.hpp"
+
+namespace youtiao::metrics {
+
+/** One thread's private accumulation slot. The shard mutex is only ever
+ *  contended by snapshot/reset; the owning thread takes it uncontended. */
+struct Registry::Shard
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, PhaseStats> phases;
+    std::unordered_map<std::string, std::uint64_t> counters;
+};
+
+namespace {
+
+std::uint64_t
+nextRegistryId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+Registry::Registry()
+    : id_(nextRegistryId())
+{}
+
+Registry::~Registry() = default;
+
+Registry &
+Registry::global()
+{
+    // Leaked on purpose: worker threads may flush metrics during static
+    // destruction, after local statics would already be gone.
+    static Registry *instance = new Registry;
+    return *instance;
+}
+
+Registry::Shard &
+Registry::localShard()
+{
+    // Cache keyed by registry id (not address) so a registry destroyed
+    // and reallocated at the same address cannot resurrect stale shards.
+    thread_local std::vector<std::pair<std::uint64_t, Shard *>> cache;
+    for (const auto &[id, shard] : cache) {
+        if (id == id_)
+            return *shard;
+    }
+    auto owned = std::make_unique<Shard>();
+    Shard *shard = owned.get();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        shards_.push_back(std::move(owned));
+    }
+    cache.emplace_back(id_, shard);
+    return *shard;
+}
+
+void
+Registry::addPhase(std::string_view name, double seconds)
+{
+    Shard &shard = localShard();
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    PhaseStats &stats = shard.phases[std::string(name)];
+    stats.seconds += seconds;
+    stats.calls += 1;
+}
+
+void
+Registry::addCounter(std::string_view name, std::uint64_t delta)
+{
+    Shard &shard = localShard();
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.counters[std::string(name)] += delta;
+}
+
+std::map<std::string, PhaseStats>
+Registry::phases() const
+{
+    std::map<std::string, PhaseStats> merged;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        for (const auto &[name, stats] : shard->phases) {
+            PhaseStats &into = merged[name];
+            into.seconds += stats.seconds;
+            into.calls += stats.calls;
+        }
+    }
+    return merged;
+}
+
+std::map<std::string, std::uint64_t>
+Registry::counters() const
+{
+    std::map<std::string, std::uint64_t> merged;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        for (const auto &[name, value] : shard->counters)
+            merged[name] += value;
+    }
+    return merged;
+}
+
+void
+Registry::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        shard->phases.clear();
+        shard->counters.clear();
+    }
+}
+
+ScopedTimer::ScopedTimer(std::string name, Registry *registry)
+    : name_(std::move(name)),
+      registry_(registry != nullptr ? registry : &Registry::global()),
+      start_(std::chrono::steady_clock::now())
+{}
+
+ScopedTimer::~ScopedTimer()
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_->addPhase(
+        name_, std::chrono::duration<double>(elapsed).count());
+}
+
+std::string
+phaseTable()
+{
+    const auto phases = Registry::global().phases();
+    const auto counters = Registry::global().counters();
+    std::ostringstream out;
+    char line[160];
+    out << "\n-- phase profile --\n";
+    std::snprintf(line, sizeof line, "%-40s %12s %10s\n", "phase",
+                  "seconds", "calls");
+    out << line;
+    for (const auto &[name, stats] : phases) {
+        std::snprintf(line, sizeof line, "%-40s %12.6f %10llu\n",
+                      name.c_str(), stats.seconds,
+                      static_cast<unsigned long long>(stats.calls));
+        out << line;
+    }
+    if (phases.empty())
+        out << "(no phases recorded)\n";
+    if (!counters.empty()) {
+        out << "\n-- counters --\n";
+        for (const auto &[name, value] : counters) {
+            std::snprintf(line, sizeof line, "%-40s %23llu\n",
+                          name.c_str(),
+                          static_cast<unsigned long long>(value));
+            out << line;
+        }
+    }
+    return out.str();
+}
+
+namespace {
+
+/** Minimal JSON string escaping; names here are plain identifiers, but
+ *  quoting mistakes must never corrupt the record. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+jsonReport(const std::string &benchmark)
+{
+    const auto phases = Registry::global().phases();
+    const auto counters = Registry::global().counters();
+    std::ostringstream out;
+    char buf[64];
+    out << "{\n";
+    out << "  \"schema\": \"youtiao-perf-1\",\n";
+    out << "  \"benchmark\": \"" << jsonEscape(benchmark) << "\",\n";
+    out << "  \"config\": {\n";
+    out << "    \"threads\": " << configuredThreadCount() << "\n";
+    out << "  },\n";
+    out << "  \"phases\": {";
+    bool first = true;
+    for (const auto &[name, stats] : phases) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        std::snprintf(buf, sizeof buf, "%.9g", stats.seconds);
+        out << "    \"" << jsonEscape(name) << "\": {\"seconds\": " << buf
+            << ", \"calls\": " << stats.calls << "}";
+    }
+    out << (first ? "},\n" : "\n  },\n");
+    out << "  \"counters\": {";
+    first = true;
+    for (const auto &[name, value] : counters) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    \"" << jsonEscape(name) << "\": " << value;
+    }
+    out << (first ? "}\n" : "\n  }\n");
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace youtiao::metrics

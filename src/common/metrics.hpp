@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lightweight pipeline instrumentation: scoped wall-clock phase timers,
+ * monotonic counters, and a process-wide registry.
+ *
+ * The registry is sharded per thread: each thread accumulates into its
+ * own shard (one uncontended mutex per shard, taken only against the
+ * occasional snapshot/reset), and readers merge the shards serially into
+ * a sorted view. Instrumentation therefore composes with the shared
+ * thread pool (common/parallel.hpp) without perturbing it: metrics
+ * observe the computation and never feed back into it, so instrumented
+ * runs stay bit-identical to uninstrumented ones at any thread count.
+ *
+ * Conventions: phase and counter names are dot-separated, subsystem
+ * first ("design.partition", "astar.cells_expanded"). Phases measure
+ * wall-clock seconds and call counts; counters are monotonic event
+ * tallies. Hot loops accumulate locally and flush one add per call, so
+ * the per-event cost stays out of inner kernels.
+ */
+
+#ifndef YOUTIAO_COMMON_METRICS_HPP
+#define YOUTIAO_COMMON_METRICS_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace youtiao::metrics {
+
+/** Aggregated wall-clock statistics of one named phase. */
+struct PhaseStats
+{
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+};
+
+/**
+ * Thread-safe metrics store. Writers touch only their own per-thread
+ * shard; phases()/counters()/reset() merge or clear every shard under
+ * the registry lock. Use the process-wide global() instance unless a
+ * test needs isolation.
+ */
+class Registry
+{
+  public:
+    Registry();
+    ~Registry();
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Process-wide registry (leaked: safe during static teardown). */
+    static Registry &global();
+
+    /** Add @p seconds of wall time and one call to phase @p name. */
+    void addPhase(std::string_view name, double seconds);
+
+    /** Add @p delta events to counter @p name. */
+    void addCounter(std::string_view name, std::uint64_t delta);
+
+    /** Serially merged per-phase totals, sorted by name. */
+    std::map<std::string, PhaseStats> phases() const;
+
+    /** Serially merged counter totals, sorted by name. */
+    std::map<std::string, std::uint64_t> counters() const;
+
+    /** Clear every shard. Concurrent writers land in the new epoch. */
+    void reset();
+
+  private:
+    struct Shard;
+
+    Shard &localShard();
+
+    /** Registry identity for the thread-local shard cache; never reused,
+     *  so a destroyed registry's cached shards can never be revived. */
+    const std::uint64_t id_;
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/**
+ * RAII wall-clock timer: records elapsed seconds into @p registry under
+ * @p name on destruction (default: the global registry).
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(std::string name,
+                         Registry *registry = nullptr);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    std::string name_;
+    Registry *registry_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Add @p delta to the global registry's counter @p name. */
+inline void
+count(std::string_view name, std::uint64_t delta = 1)
+{
+    Registry::global().addCounter(name, delta);
+}
+
+/**
+ * Human-readable phase/counter table of the global registry, as shown
+ * by `youtiao_cli --profile`.
+ */
+std::string phaseTable();
+
+/**
+ * Machine-readable perf record of the global registry (schema
+ * "youtiao-perf-1", see docs/FILE_FORMATS.md): benchmark name, config
+ * (thread count), per-phase wall times and call counts, counters.
+ */
+std::string jsonReport(const std::string &benchmark);
+
+} // namespace youtiao::metrics
+
+#endif // YOUTIAO_COMMON_METRICS_HPP

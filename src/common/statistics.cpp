@@ -118,13 +118,26 @@ normalizedHistogram(std::span<const double> xs, double lo, double hi,
     if (xs.empty())
         return hist;
     const double width = (hi - lo) / static_cast<double>(bins);
+    // Clamp in floating point before the integer cast: casting NaN or a
+    // quotient beyond the range of the integer type is undefined
+    // behaviour. NaN samples carry no bin information and are skipped
+    // (they do not contribute to the normalization either); +/-inf and
+    // finite outliers land in the edge bins like any out-of-range value.
+    std::size_t counted = 0;
     for (double x : xs) {
-        auto raw = static_cast<long>(std::floor((x - lo) / width));
-        const long clamped =
-            std::clamp(raw, 0L, static_cast<long>(bins) - 1);
+        if (std::isnan(x))
+            continue;
+        const double raw = std::floor((x - lo) / width);
+        if (std::isnan(raw)) // degenerate infinite range
+            continue;
+        const double clamped =
+            std::clamp(raw, 0.0, static_cast<double>(bins - 1));
         hist[static_cast<std::size_t>(clamped)] += 1.0;
+        ++counted;
     }
-    const double total = static_cast<double>(xs.size());
+    if (counted == 0)
+        return hist;
+    const double total = static_cast<double>(counted);
     for (double &h : hist)
         h /= total;
     return hist;

@@ -48,8 +48,11 @@ double pearsonCorrelation(std::span<const double> xs,
 
 /**
  * Fixed-width histogram over [lo, hi] with @p bins bins, normalized to sum
- * to 1. Samples outside the range are clamped to the edge bins so that two
- * histograms over the same range are always comparable distributions.
+ * to 1. Samples outside the range (including +/-inf) are clamped to the
+ * edge bins so that two histograms over the same range are always
+ * comparable distributions. NaN samples are skipped entirely: they carry
+ * no bin information and do not contribute to the normalization (an
+ * all-NaN input yields the all-zero histogram).
  */
 std::vector<double> normalizedHistogram(std::span<const double> xs,
                                         double lo, double hi,

@@ -55,11 +55,19 @@ class LineReader
     expect(const std::string &key)
     {
         std::string line;
-        // Skip blank lines and comments.
+        // Skip blank lines and comments. A failed getline used to fall
+        // through with an empty line and produce a misleading
+        // "expected key 'X', found ''" -- report truncation as such.
+        bool have_line = false;
         while (std::getline(in_, line)) {
-            if (!line.empty() && line[0] != '#')
+            if (!line.empty() && line[0] != '#') {
+                have_line = true;
                 break;
+            }
         }
+        requireConfig(have_line,
+                      "unexpected end of design file while looking for '" +
+                          key + "'");
         std::istringstream stream(line);
         std::string found;
         stream >> found;
@@ -273,11 +281,17 @@ loadDesign(std::istream &in)
                       "missing cost");
     }
 
-    // Consistency: the maps must agree with the group lists.
+    // Consistency: every per-qubit section must agree on the qubit
+    // count, and every map must agree with its group list, so a corrupt
+    // file cannot load "successfully".
     const std::size_t qubits = design.xyPlan.lineOfQubit.size();
     requireConfig(design.frequencyPlan.frequencyGHz.size() == qubits &&
+                      design.frequencyPlan.zoneOfQubit.size() == qubits &&
+                      design.frequencyPlan.cellOfQubit.size() == qubits &&
                       design.readout.feedlineOfQubit.size() == qubits &&
-                      design.predictedXy.size() == qubits,
+                      design.readout.resonatorGHz.size() == qubits &&
+                      design.predictedXy.size() == qubits &&
+                      design.predictedZzMHz.size() == qubits,
                   "design sections disagree on qubit count");
     for (std::size_t l = 0; l < design.xyPlan.lines.size(); ++l) {
         for (std::size_t q : design.xyPlan.lines[l]) {
@@ -291,6 +305,13 @@ loadDesign(std::istream &in)
             requireConfig(d < design.zPlan.groupOfDevice.size() &&
                               design.zPlan.groupOfDevice[d] == g,
                           "z plan map/group mismatch");
+        }
+    }
+    for (std::size_t f = 0; f < design.readout.feedlines.size(); ++f) {
+        for (std::size_t q : design.readout.feedlines[f]) {
+            requireConfig(q < qubits &&
+                              design.readout.feedlineOfQubit[q] == f,
+                          "readout plan map/group mismatch");
         }
     }
     return design;

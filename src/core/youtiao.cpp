@@ -1,6 +1,7 @@
 #include "core/youtiao.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "noise/equivalent_distance.hpp"
 
 namespace youtiao {
@@ -13,10 +14,12 @@ YoutiaoDesign
 YoutiaoDesigner::design(const ChipTopology &chip,
                         const ChipCharacterization &data) const
 {
-    const CrosstalkModel xy = CrosstalkModel::fit(data.xySamples,
-                                                  config_.fit);
-    const CrosstalkModel zz = CrosstalkModel::fit(data.zzSamples,
-                                                  config_.fit);
+    CrosstalkModel xy, zz;
+    {
+        const metrics::ScopedTimer timer("design.characterization_fit");
+        xy = CrosstalkModel::fit(data.xySamples, config_.fit);
+        zz = CrosstalkModel::fit(data.zzSamples, config_.fit);
+    }
     return designWithModels(chip, xy, zz);
 }
 
@@ -28,9 +31,15 @@ YoutiaoDesigner::designWithModels(const ChipTopology &chip,
     YoutiaoDesign out;
     out.xyModel = xy_model;
     out.zzModel = zz_model;
-    return finishDesign(chip, xy_model.predictQubitMatrix(chip),
-                        zz_model.predictQubitMatrix(chip),
-                        xy_model.wPhy(), std::move(out));
+    SymmetricMatrix predicted_xy, predicted_zz;
+    {
+        const metrics::ScopedTimer timer("design.crosstalk_predict");
+        predicted_xy = xy_model.predictQubitMatrix(chip);
+        predicted_zz = zz_model.predictQubitMatrix(chip);
+    }
+    return finishDesign(chip, std::move(predicted_xy),
+                        std::move(predicted_zz), xy_model.wPhy(),
+                        std::move(out));
 }
 
 YoutiaoDesign
@@ -57,39 +66,61 @@ YoutiaoDesigner::finishDesign(const ChipTopology &chip,
 
     // Equivalent-distance matrix under the chosen weights drives both
     // FDM grouping and region growth.
-    const SymmetricMatrix d_phy = qubitPhysicalDistanceMatrix(chip);
-    const SymmetricMatrix d_top = qubitTopologicalDistanceMatrix(chip);
-    const SymmetricMatrix d_equiv =
-        equivalentDistanceMatrix(d_phy, d_top, w_phy, 1.0 - w_phy);
-
-    Prng prng(config_.seed);
-    if (chip.qubitCount() > config_.partitionThresholdQubits) {
-        out.partition = generativePartition(chip, d_equiv,
-                                            config_.partition, prng);
-    } else {
-        out.partition.regions.push_back({});
-        out.partition.regionOfQubit.assign(chip.qubitCount(), 0);
-        for (std::size_t q = 0; q < chip.qubitCount(); ++q)
-            out.partition.regions[0].push_back(q);
-        out.partition.seeds.push_back(0);
+    SymmetricMatrix d_equiv;
+    {
+        const metrics::ScopedTimer timer("design.distance_matrices");
+        const SymmetricMatrix d_phy = qubitPhysicalDistanceMatrix(chip);
+        const SymmetricMatrix d_top = qubitTopologicalDistanceMatrix(chip);
+        d_equiv =
+            equivalentDistanceMatrix(d_phy, d_top, w_phy, 1.0 - w_phy);
     }
 
-    out.xyPlan = groupFdmPartitioned(out.partition, d_equiv, config_.fdm);
-    const NoiseModel noise(config_.noise);
-    out.frequencyPlan = allocateFrequencies(out.xyPlan, out.predictedXy,
-                                            noise, config_.frequency);
-    out.zPlan = groupTdmPartitioned(chip, out.partition, out.predictedZzMHz,
-                                    config_.tdm);
+    Prng prng(config_.seed);
+    {
+        const metrics::ScopedTimer timer("design.partition");
+        if (chip.qubitCount() > config_.partitionThresholdQubits) {
+            out.partition = generativePartition(chip, d_equiv,
+                                                config_.partition, prng);
+        } else {
+            out.partition.regions.push_back({});
+            out.partition.regionOfQubit.assign(chip.qubitCount(), 0);
+            for (std::size_t q = 0; q < chip.qubitCount(); ++q)
+                out.partition.regions[0].push_back(q);
+            out.partition.seeds.push_back(0);
+        }
+    }
 
-    ReadoutConfig readout_cfg = config_.readout;
-    readout_cfg.feedlineCapacity = config_.cost.readoutFeedCapacity;
-    out.readout = planReadout(d_equiv, readout_cfg);
-    out.readoutPlan.lines = out.readout.feedlines;
-    out.readoutPlan.lineOfQubit = out.readout.feedlineOfQubit;
+    {
+        const metrics::ScopedTimer timer("design.xy_grouping");
+        out.xyPlan =
+            groupFdmPartitioned(out.partition, d_equiv, config_.fdm);
+    }
+    {
+        const metrics::ScopedTimer timer("design.frequency_allocation");
+        const NoiseModel noise(config_.noise);
+        out.frequencyPlan = allocateFrequencies(
+            out.xyPlan, out.predictedXy, noise, config_.frequency);
+    }
+    {
+        const metrics::ScopedTimer timer("design.tdm_grouping");
+        out.zPlan = groupTdmPartitioned(chip, out.partition,
+                                        out.predictedZzMHz, config_.tdm);
+    }
+
+    {
+        const metrics::ScopedTimer timer("design.readout_planning");
+        ReadoutConfig readout_cfg = config_.readout;
+        readout_cfg.feedlineCapacity = config_.cost.readoutFeedCapacity;
+        out.readout = planReadout(d_equiv, readout_cfg);
+        out.readoutPlan.lines = out.readout.feedlines;
+        out.readoutPlan.lineOfQubit = out.readout.feedlineOfQubit;
+    }
 
     out.counts = multiplexedWiringCounts(chip.qubitCount(), out.xyPlan,
                                          out.zPlan, config_.cost);
     out.costUsd = wiringCostUsd(out.counts, config_.cost);
+    metrics::count("design.chips_designed");
+    metrics::count("design.qubits_designed", chip.qubitCount());
     return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 
 namespace youtiao {
@@ -23,6 +24,8 @@ RandomForest::fit(std::span<const double> features,
                   std::span<const double> targets, Prng &prng)
 {
     requireConfig(!targets.empty(), "cannot fit on zero samples");
+    const metrics::ScopedTimer timer("noise.forest_fit");
+    metrics::count("noise.trees_fitted", config_.treeCount);
     const std::size_t n = targets.size();
     const auto draw_count = static_cast<std::size_t>(
         std::ceil(config_.bootstrapFraction * static_cast<double>(n)));

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace youtiao {
 
@@ -28,6 +29,27 @@ constexpr long kMoves[kDirCount][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
 
 } // namespace
 
+std::size_t
+astarMaxCells()
+{
+    // The largest state index must stay below the no-parent sentinel
+    // (uint32 max), so cells * kDirCount states must fit strictly.
+    return (std::numeric_limits<std::uint32_t>::max() - kDirCount + 1) /
+           kDirCount;
+}
+
+void
+requireAstarIndexable(std::size_t width, std::size_t height)
+{
+    // Guard the multiplication itself: width * height may already wrap.
+    const std::size_t limit = astarMaxCells();
+    requireConfig(width == 0 || height <= limit / width,
+                  "routing grid of " + std::to_string(width) + "x" +
+                      std::to_string(height) +
+                      " cells exceeds the A* 32-bit state index; shrink "
+                      "the grid or coarsen the cell pitch");
+}
+
 std::optional<RoutedPath>
 routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
            const AstarConfig &config)
@@ -35,6 +57,7 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
     requireConfig(net_id >= 0, "net id must be non-negative");
     const std::size_t w = grid.width();
     const std::size_t h = grid.height();
+    requireAstarIndexable(w, h);
     auto flat = [w](const Cell &c) { return c.y * w + c.x; };
 
     auto mine_or_free = [&](const Cell &c) {
@@ -66,6 +89,7 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
     }
 
     std::uint32_t goal_state = no_parent;
+    std::size_t expanded = 0;
     while (!open.empty()) {
         const auto [f, state] = open.top();
         open.pop();
@@ -73,6 +97,7 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
         if (closed[state])
             continue;
         closed[state] = true;
+        ++expanded;
         const std::size_t idx = state / kDirCount;
         const int dir_in = static_cast<int>(state % kDirCount);
         const Cell here{idx % w, idx / w};
@@ -128,8 +153,11 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
             }
         }
     }
-    if (goal_state == no_parent)
+    metrics::count("astar.cells_expanded", expanded);
+    if (goal_state == no_parent) {
+        metrics::count("astar.failed_routes");
         return std::nullopt;
+    }
 
     RoutedPath path;
     std::uint32_t state = goal_state;
@@ -154,6 +182,9 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
             path.crossovers.push_back(Crossover{c, net_id, owner});
         }
     }
+    metrics::count("astar.paths_routed");
+    metrics::count("astar.path_cells", path.cells.size());
+    metrics::count("astar.crossovers", path.crossovers.size());
     return path;
 }
 

@@ -53,6 +53,21 @@ struct AstarConfig
 };
 
 /**
+ * Largest grid cell count (width * height) routeAstar can search. The
+ * search state packs (cell, incoming direction) into a std::uint32_t
+ * index, four states per cell, with the maximum value reserved as the
+ * no-parent sentinel.
+ */
+std::size_t astarMaxCells();
+
+/**
+ * Throw ConfigError unless a @p width x @p height grid fits the A*
+ * state index (see astarMaxCells()). routeAstar calls this itself;
+ * exposed so callers can validate grid dimensions up front.
+ */
+void requireAstarIndexable(std::size_t width, std::size_t height);
+
+/**
  * Route @p net_id from @p from to @p to on @p grid. Obstacles are
  * impassable; other nets' cells may be bridged perpendicularly. On
  * success the new cells are claimed for the net and the path returned;

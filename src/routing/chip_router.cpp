@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "routing/astar_router.hpp"
 
 namespace youtiao {
@@ -112,6 +113,7 @@ buildWiringNets(const ChipTopology &chip, const FdmPlan &xy_plan,
                 const TdmPlan &z_plan, const FdmPlan &readout_plan,
                 const ChipRoutingConfig &config)
 {
+    const metrics::ScopedTimer timer("routing.build_nets");
     // Each control plane bonds to the device at its own port just outside
     // the keep-out pad (XY prefers west, Z east, readout north), falling
     // back to other ports on crowded lattices, so no wire ever needs to
@@ -297,6 +299,7 @@ ChipRoutingResult
 routeChip(const ChipTopology &chip, const std::vector<NetSpec> &nets,
           const ChipRoutingConfig &config)
 {
+    const metrics::ScopedTimer timer("routing.route_chip");
     // Short nets route first: pin stubs claim their pad alleys before the
     // long trunks (which have many detour options) weave around. When a
     // net still fails, rip everything up and retry with the failed nets
@@ -315,6 +318,7 @@ routeChip(const ChipTopology &chip, const std::vector<NetSpec> &nets,
     ChipRoutingResult best;
     bool have_best = false;
     for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        metrics::count("routing.attempts");
         ChipRoutingResult result =
             routeOnce(chip, nets, config, order, net_failed);
         if (!have_best ||
@@ -329,6 +333,9 @@ routeChip(const ChipTopology &chip, const std::vector<NetSpec> &nets,
                              return net_failed[a] && !net_failed[b];
                          });
     }
+    metrics::count("routing.nets_routed", best.netCount);
+    metrics::count("routing.failed_connections", best.failedConnections);
+    metrics::count("routing.crossovers", best.crossovers.size());
     return best;
 }
 

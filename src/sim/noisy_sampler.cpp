@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 
 namespace youtiao {
@@ -39,6 +40,8 @@ sampleNoisyExecution(const QuantumCircuit &qc, const Schedule &schedule,
                      Prng &prng)
 {
     requireConfig(shots >= 1, "need at least one shot");
+    const metrics::ScopedTimer timer("sim.noisy_sampling");
+    metrics::count("sim.shots", shots);
 
     // Flatten every independent error channel into one probability list;
     // each shot then draws Bernoulli events against it.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 
 namespace youtiao {
@@ -171,6 +172,8 @@ StateVector::run(const QuantumCircuit &qc)
 {
     requireConfig(qc.qubitCount() <= qubitCount_,
                   "circuit wider than the register");
+    const metrics::ScopedTimer timer("sim.gate_kernels");
+    metrics::count("sim.gates_applied", qc.gates().size());
     for (const Gate &g : qc.gates())
         applyGate(g);
 }

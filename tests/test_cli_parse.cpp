@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regression tests for the checked CLI argument parsers. The bare
+ * strtoul/strtod calls they replaced silently turned non-numeric input
+ * into 0 and accepted zero/negative values; every rejection here must
+ * keep failing loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/cli_parse.hpp"
+#include "common/error.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(CliParse, Uint64AcceptsPlainDigits)
+{
+    EXPECT_EQ(parseUint64Arg("0", "--seed"), 0u);
+    EXPECT_EQ(parseUint64Arg("2025", "--seed"), 2025u);
+    EXPECT_EQ(parseUint64Arg("18446744073709551615", "--seed"),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(CliParse, Uint64RejectsNonNumeric)
+{
+    EXPECT_THROW(parseUint64Arg("abc", "--seed"), ConfigError);
+    EXPECT_THROW(parseUint64Arg("12abc", "--seed"), ConfigError);
+    EXPECT_THROW(parseUint64Arg("", "--seed"), ConfigError);
+    EXPECT_THROW(parseUint64Arg(" 12", "--seed"), ConfigError);
+    EXPECT_THROW(parseUint64Arg("1.5", "--seed"), ConfigError);
+}
+
+TEST(CliParse, Uint64RejectsSigns)
+{
+    // strtoull would wrap "-1" to 2^64 - 1; the parser must refuse.
+    EXPECT_THROW(parseUint64Arg("-1", "--seed"), ConfigError);
+    EXPECT_THROW(parseUint64Arg("+1", "--seed"), ConfigError);
+}
+
+TEST(CliParse, Uint64RejectsOverflow)
+{
+    EXPECT_THROW(parseUint64Arg("18446744073709551616", "--seed"),
+                 ConfigError);
+    EXPECT_THROW(parseUint64Arg("99999999999999999999999", "--seed"),
+                 ConfigError);
+}
+
+TEST(CliParse, SizeRejectsZeroByDefault)
+{
+    EXPECT_THROW(parseSizeArg("0", "--rows"), ConfigError);
+    EXPECT_EQ(parseSizeArg("1", "--rows"), 1u);
+    EXPECT_EQ(parseSizeArg("0", "--rows", 0), 0u);
+}
+
+TEST(CliParse, SizeHonorsMinimum)
+{
+    EXPECT_THROW(parseSizeArg("2", "--capacity", 3), ConfigError);
+    EXPECT_EQ(parseSizeArg("3", "--capacity", 3), 3u);
+}
+
+TEST(CliParse, SizeErrorNamesTheOption)
+{
+    try {
+        parseSizeArg("abc", "--rows");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("--rows"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+    }
+}
+
+TEST(CliParse, DoubleAcceptsPositiveFinite)
+{
+    EXPECT_DOUBLE_EQ(parsePositiveDoubleArg("4.0", "--theta"), 4.0);
+    EXPECT_DOUBLE_EQ(parsePositiveDoubleArg("1e-3", "--theta"), 1e-3);
+}
+
+TEST(CliParse, DoubleRejectsBadInput)
+{
+    EXPECT_THROW(parsePositiveDoubleArg("abc", "--theta"), ConfigError);
+    EXPECT_THROW(parsePositiveDoubleArg("1.5x", "--theta"), ConfigError);
+    EXPECT_THROW(parsePositiveDoubleArg("", "--theta"), ConfigError);
+    EXPECT_THROW(parsePositiveDoubleArg("0", "--theta"), ConfigError);
+    EXPECT_THROW(parsePositiveDoubleArg("-4", "--theta"), ConfigError);
+    EXPECT_THROW(parsePositiveDoubleArg("nan", "--theta"), ConfigError);
+    EXPECT_THROW(parsePositiveDoubleArg("inf", "--theta"), ConfigError);
+    EXPECT_THROW(parsePositiveDoubleArg("1e999", "--theta"), ConfigError);
+}
+
+} // namespace
+} // namespace youtiao

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Metrics-layer suite: timer/counter semantics, registry reset, the
+ * JSON perf record, and the instrumentation half of the determinism
+ * contract -- instrumented pipeline output must be bit-identical at any
+ * thread count, because metrics observe the computation and never feed
+ * back into it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chip/topology_builder.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "core/serialization.hpp"
+#include "core/youtiao.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(Metrics, CounterAccumulates)
+{
+    metrics::Registry registry;
+    registry.addCounter("a", 3);
+    registry.addCounter("a", 4);
+    registry.addCounter("b", 1);
+    const auto counters = registry.counters();
+    EXPECT_EQ(counters.at("a"), 7u);
+    EXPECT_EQ(counters.at("b"), 1u);
+}
+
+TEST(Metrics, PhaseAccumulatesSecondsAndCalls)
+{
+    metrics::Registry registry;
+    registry.addPhase("p", 0.25);
+    registry.addPhase("p", 0.5);
+    const auto phases = registry.phases();
+    EXPECT_DOUBLE_EQ(phases.at("p").seconds, 0.75);
+    EXPECT_EQ(phases.at("p").calls, 2u);
+}
+
+TEST(Metrics, ScopedTimerRecordsOneCall)
+{
+    metrics::Registry registry;
+    {
+        const metrics::ScopedTimer timer("scoped", &registry);
+    }
+    const auto phases = registry.phases();
+    ASSERT_EQ(phases.count("scoped"), 1u);
+    EXPECT_EQ(phases.at("scoped").calls, 1u);
+    EXPECT_GE(phases.at("scoped").seconds, 0.0);
+}
+
+TEST(Metrics, ResetClearsEverything)
+{
+    metrics::Registry registry;
+    registry.addPhase("p", 1.0);
+    registry.addCounter("c", 5);
+    registry.reset();
+    EXPECT_TRUE(registry.phases().empty());
+    EXPECT_TRUE(registry.counters().empty());
+    // The registry stays usable after a reset.
+    registry.addCounter("c", 2);
+    EXPECT_EQ(registry.counters().at("c"), 2u);
+}
+
+TEST(Metrics, CountersMergeAcrossPoolThreads)
+{
+    metrics::Registry registry;
+    ThreadPool pool(4);
+    constexpr std::size_t n = 10000;
+    parallelFor(
+        0, n, [&](std::size_t) { registry.addCounter("hits", 1); }, 1,
+        &pool);
+    EXPECT_EQ(registry.counters().at("hits"), n);
+}
+
+TEST(Metrics, TimersMergeAcrossPoolThreads)
+{
+    metrics::Registry registry;
+    ThreadPool pool(4);
+    constexpr std::size_t n = 64;
+    parallelFor(
+        0, n,
+        [&](std::size_t) {
+            const metrics::ScopedTimer timer("task", &registry);
+        },
+        1, &pool);
+    EXPECT_EQ(registry.phases().at("task").calls, n);
+}
+
+TEST(Metrics, JsonReportHasSchemaConfigPhasesCounters)
+{
+    metrics::Registry::global().reset();
+    {
+        const metrics::ScopedTimer timer("json.phase");
+    }
+    metrics::count("json.counter", 42);
+    const std::string json = metrics::jsonReport("unit_test");
+    EXPECT_NE(json.find("\"schema\": \"youtiao-perf-1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"benchmark\": \"unit_test\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"threads\":"), std::string::npos);
+    EXPECT_NE(json.find("\"json.phase\""), std::string::npos);
+    EXPECT_NE(json.find("\"json.counter\": 42"), std::string::npos);
+    metrics::Registry::global().reset();
+}
+
+TEST(Metrics, JsonReportEscapesNames)
+{
+    metrics::Registry::global().reset();
+    metrics::count("quote\"back\\slash", 1);
+    const std::string json = metrics::jsonReport("x");
+    EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+    metrics::Registry::global().reset();
+}
+
+TEST(Metrics, PhaseTableListsPhasesAndCounters)
+{
+    metrics::Registry::global().reset();
+    {
+        const metrics::ScopedTimer timer("table.phase");
+    }
+    metrics::count("table.counter", 7);
+    const std::string table = metrics::phaseTable();
+    EXPECT_NE(table.find("table.phase"), std::string::npos);
+    EXPECT_NE(table.find("table.counter"), std::string::npos);
+    metrics::Registry::global().reset();
+}
+
+/** Run @p fn with the global pool rebuilt at each thread count and
+ *  restore the environment default afterwards. */
+template <typename Fn>
+auto
+resultsAtThreadCounts(const std::vector<std::size_t> &counts, Fn &&fn)
+{
+    std::vector<decltype(fn())> results;
+    results.reserve(counts.size());
+    for (std::size_t threads : counts) {
+        ThreadPool::setGlobalThreadCount(threads);
+        results.push_back(fn());
+    }
+    ThreadPool::setGlobalThreadCount(0);
+    return results;
+}
+
+TEST(Metrics, InstrumentedDesignBitIdenticalAcrossThreadCounts)
+{
+    const ChipTopology chip = makeSquareGrid(4, 4);
+    Prng prng(7);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    YoutiaoConfig config;
+    config.fit.forest.treeCount = 8;
+    const auto designs = resultsAtThreadCounts(
+        {1, 2, 4}, [&] {
+            metrics::Registry::global().reset();
+            const std::string text = designToString(
+                YoutiaoDesigner(config).design(chip, data));
+            // The run must also have recorded its pipeline phases.
+            EXPECT_EQ(metrics::Registry::global().phases().count(
+                          "design.xy_grouping"),
+                      1u);
+            return text;
+        });
+    EXPECT_EQ(designs[0], designs[1]);
+    EXPECT_EQ(designs[0], designs[2]);
+    metrics::Registry::global().reset();
+}
+
+} // namespace
+} // namespace youtiao

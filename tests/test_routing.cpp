@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "chip/topology_builder.hpp"
 #include "common/error.hpp"
 #include "core/baselines.hpp"
@@ -37,6 +39,27 @@ TEST(RoutingGrid, ClearOnlyRemovesObstacles)
     grid.setOwner(c, 3);
     grid.clearSquare(Point{1, 1}, 0.1);
     EXPECT_EQ(grid.owner(c), 3);
+}
+
+TEST(AstarRouter, StateIndexGuardRejectsOversizedGrids)
+{
+    // The A* state index packs cell * 4 + direction into 32 bits; a
+    // grid beyond that silently truncated the index and routed garbage.
+    // It must fail loudly instead, before any search memory is touched.
+    const std::size_t limit = astarMaxCells();
+    EXPECT_LT(limit, std::size_t{1} << 31);
+    EXPECT_GE(limit, (std::size_t{1} << 30) - 1);
+    EXPECT_NO_THROW(requireAstarIndexable(1, limit));
+    EXPECT_THROW(requireAstarIndexable(1, limit + 1), ConfigError);
+    EXPECT_THROW(requireAstarIndexable(std::size_t{1} << 16,
+                                       std::size_t{1} << 16),
+                 ConfigError);
+    // The width * height product overflowing std::size_t must not slip
+    // through the guard either.
+    const std::size_t huge = std::numeric_limits<std::size_t>::max();
+    EXPECT_THROW(requireAstarIndexable(huge, huge), ConfigError);
+    EXPECT_NO_THROW(requireAstarIndexable(1000, 1000));
+    EXPECT_NO_THROW(requireAstarIndexable(0, huge));
 }
 
 TEST(AstarRouter, StraightLineRoute)

@@ -117,5 +117,123 @@ TEST(Serialization, CommentsAndBlankLinesTolerated)
     EXPECT_EQ(loaded.xyPlan.lines, designed().design.xyPlan.lines);
 }
 
+/** First @p lines lines of @p text (trailing newline included). */
+std::string
+firstLines(const std::string &text, std::size_t lines)
+{
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < lines; ++i) {
+        pos = text.find('\n', pos);
+        if (pos == std::string::npos)
+            return text;
+        ++pos;
+    }
+    return text.substr(0, pos);
+}
+
+/** Apply @p edit to the (whole) line starting with "@p key ". */
+template <typename Edit>
+std::string
+editLine(const std::string &text, const std::string &key, Edit &&edit)
+{
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    bool found = false;
+    while (std::getline(in, line)) {
+        if (!found && line.rfind(key + ' ', 0) == 0) {
+            line = edit(line);
+            found = true;
+        }
+        out << line << '\n';
+    }
+    EXPECT_TRUE(found) << "no line with key " << key;
+    return out.str();
+}
+
+TEST(Serialization, TruncationAtLineBoundaryReportsEndOfFile)
+{
+    // Cut after the xy sections: the next expected key is "freq.ghz",
+    // and the failure must say the file ended, not that an empty key
+    // was found (the old misleading "expected key 'X', found ''").
+    const std::string text =
+        firstLines(designToString(designed().design), 3);
+    try {
+        designFromString(text);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unexpected end of design file"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("freq.ghz"), std::string::npos) << what;
+    }
+}
+
+TEST(Serialization, TruncationToCommentsOnlyReportsEndOfFile)
+{
+    try {
+        designFromString("# a comment\n\n");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("unexpected end of design file"),
+                  std::string::npos);
+    }
+}
+
+TEST(Serialization, RejectsInconsistentReadoutMap)
+{
+    // Point qubit 0 at the wrong feedline; the group lists no longer
+    // agree with the per-qubit map.
+    const std::string text = editLine(
+        designToString(designed().design), "readout.feedline_of_qubit",
+        [](const std::string &line) {
+            std::istringstream in(line);
+            std::string key;
+            std::size_t first = 0;
+            in >> key >> first;
+            std::ostringstream out;
+            out << key << ' ' << first + 1;
+            std::size_t v;
+            while (in >> v)
+                out << ' ' << v;
+            return out.str();
+        });
+    EXPECT_THROW(designFromString(text), ConfigError);
+}
+
+/** Drop the last whitespace-separated token of @p line. */
+std::string
+dropLastToken(const std::string &line)
+{
+    const std::size_t pos = line.find_last_of(' ');
+    return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+TEST(Serialization, RejectsShortZoneMap)
+{
+    const std::string text =
+        editLine(designToString(designed().design), "freq.zone",
+                 dropLastToken);
+    EXPECT_THROW(designFromString(text), ConfigError);
+}
+
+TEST(Serialization, RejectsShortCellMap)
+{
+    const std::string text =
+        editLine(designToString(designed().design), "freq.cell",
+                 dropLastToken);
+    EXPECT_THROW(designFromString(text), ConfigError);
+}
+
+TEST(Serialization, RejectsShortResonatorList)
+{
+    const std::string text =
+        editLine(designToString(designed().design),
+                 "readout.resonator_ghz", dropLastToken);
+    EXPECT_THROW(designFromString(text), ConfigError);
+}
+
 } // namespace
 } // namespace youtiao

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -95,6 +96,47 @@ TEST(Statistics, HistogramNormalized)
 TEST(Statistics, HistogramClampsOutOfRange)
 {
     const std::vector<double> xs{-5.0, 5.0};
+    const auto hist = normalizedHistogram(xs, 0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(hist.front(), 0.5);
+    EXPECT_DOUBLE_EQ(hist.back(), 0.5);
+}
+
+TEST(Statistics, HistogramSkipsNaN)
+{
+    // NaN used to hit an undefined float->long cast; the documented
+    // policy is to drop NaN samples and normalize over the rest.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<double> xs{nan, 0.5, 1.5, nan};
+    const auto hist = normalizedHistogram(xs, 0.0, 2.0, 2);
+    ASSERT_EQ(hist.size(), 2u);
+    EXPECT_DOUBLE_EQ(hist[0], 0.5);
+    EXPECT_DOUBLE_EQ(hist[1], 0.5);
+}
+
+TEST(Statistics, HistogramAllNaNIsAllZero)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<double> xs{nan, nan};
+    const auto hist = normalizedHistogram(xs, 0.0, 1.0, 3);
+    for (double h : hist)
+        EXPECT_DOUBLE_EQ(h, 0.0);
+}
+
+TEST(Statistics, HistogramClampsInfinitiesToEdgeBins)
+{
+    // +/-inf overflowed the integer cast (UB; +inf typically landed in
+    // bin 0 on x86); they must clamp like any out-of-range sample.
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::vector<double> xs{-inf, inf};
+    const auto hist = normalizedHistogram(xs, 0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(hist.front(), 0.5);
+    EXPECT_DOUBLE_EQ(hist.back(), 0.5);
+}
+
+TEST(Statistics, HistogramClampsOutliersBeyondLongRange)
+{
+    // Quotients beyond the range of long also overflowed the cast.
+    const std::vector<double> xs{1e300, -1e300};
     const auto hist = normalizedHistogram(xs, 0.0, 1.0, 4);
     EXPECT_DOUBLE_EQ(hist.front(), 0.5);
     EXPECT_DOUBLE_EQ(hist.back(), 0.5);

@@ -3,11 +3,14 @@
  * youtiao_cli -- design the multiplexed wiring of a chip from the shell.
  *
  *   youtiao_cli [--topology NAME] [--rows N] [--cols N] [--seed S]
- *               [--capacity K] [--theta T] [--compare]
+ *               [--capacity K] [--theta T] [--compare] [--profile]
  *
  * Topologies: square, hexagon, heavy-square, heavy-hexagon, low-density,
  * grid (with --rows/--cols). Prints the full wiring report; --compare
- * adds the dedicated-wiring baseline bill.
+ * adds the dedicated-wiring baseline bill; --profile appends the
+ * per-phase wall-clock table and counters of the design pipeline.
+ *
+ * Exit codes: 0 success, 1 runtime failure, 2 usage / bad argument.
  */
 
 #include <cstdio>
@@ -19,6 +22,9 @@
 
 #include "chip/chip_io.hpp"
 #include "chip/topology_builder.hpp"
+#include "common/cli_parse.hpp"
+#include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "core/baselines.hpp"
 #include "core/report.hpp"
 #include "core/serialization.hpp"
@@ -37,7 +43,11 @@ usage(const char *argv0)
         "low-density|grid]\n"
         "          [--rows N] [--cols N] [--seed S] [--capacity K] "
         "[--theta T] [--compare]\n"
-        "          [--save FILE] [--chip FILE]\n",
+        "          [--save FILE] [--chip FILE] [--profile]\n"
+        "  --rows/--cols/--capacity take integers >= 1, --theta a "
+        "positive number;\n"
+        "  --profile appends the per-phase wall-clock table to the "
+        "report\n",
         argv0);
     std::exit(2);
 }
@@ -53,36 +63,44 @@ main(int argc, char **argv)
     std::size_t capacity = 5;
     double theta = 4.0;
     bool compare = false;
+    bool profile = false;
     std::string save_path;
     std::string chip_path;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    usage(argv[0]);
+                return argv[++i];
+            };
+            if (arg == "--topology")
+                topology = next();
+            else if (arg == "--rows")
+                rows = parseSizeArg(next(), "--rows");
+            else if (arg == "--cols")
+                cols = parseSizeArg(next(), "--cols");
+            else if (arg == "--seed")
+                seed = parseUint64Arg(next(), "--seed");
+            else if (arg == "--capacity")
+                capacity = parseSizeArg(next(), "--capacity");
+            else if (arg == "--theta")
+                theta = parsePositiveDoubleArg(next(), "--theta");
+            else if (arg == "--compare")
+                compare = true;
+            else if (arg == "--profile")
+                profile = true;
+            else if (arg == "--save")
+                save_path = next();
+            else if (arg == "--chip")
+                chip_path = next();
+            else
                 usage(argv[0]);
-            return argv[++i];
-        };
-        if (arg == "--topology")
-            topology = next();
-        else if (arg == "--rows")
-            rows = std::strtoul(next(), nullptr, 10);
-        else if (arg == "--cols")
-            cols = std::strtoul(next(), nullptr, 10);
-        else if (arg == "--seed")
-            seed = std::strtoull(next(), nullptr, 10);
-        else if (arg == "--capacity")
-            capacity = std::strtoul(next(), nullptr, 10);
-        else if (arg == "--theta")
-            theta = std::strtod(next(), nullptr);
-        else if (arg == "--compare")
-            compare = true;
-        else if (arg == "--save")
-            save_path = next();
-        else if (arg == "--chip")
-            chip_path = next();
-        else
-            usage(argv[0]);
+        }
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     }
 
     TopologyFamily family;
@@ -142,6 +160,8 @@ main(int argc, char **argv)
                         costComparison(design, google, "dedicated")
                             .c_str());
         }
+        if (profile)
+            std::fputs(metrics::phaseTable().c_str(), stdout);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
