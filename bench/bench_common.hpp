@@ -27,7 +27,7 @@ namespace youtiao::bench {
  * Machine-readable perf record for one bench binary. Construct at the
  * top of main() (resets the metrics registry so the record covers only
  * this run); the destructor writes the merged phase timers and counters
- * to `BENCH_<name>.json` (schema "youtiao-perf-1", see
+ * to `BENCH_<name>.json` (schema "youtiao-perf-2", see
  * docs/FILE_FORMATS.md) in the current directory, or under
  * `$YOUTIAO_PERF_DIR` when set. Every subsequent optimization PR is
  * judged against these records.

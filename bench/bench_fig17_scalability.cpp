@@ -8,6 +8,9 @@
  *  (d) 1k..100k qubits: cable count and dollar savings (paper: 3.1x,
  *      >$2.3B saved; our theta=4 mix yields 2.3x / $1.5B -- see
  *      EXPERIMENTS.md).
+ *  (e) Hot-path profile (not a paper figure): full designer + routing
+ *      on an 80-qubit system, feeding the perf record that
+ *      tools/perf_check compares against bench/baselines/.
  */
 
 #include <benchmark/benchmark.h>
@@ -17,7 +20,9 @@
 
 #include "bench_common.hpp"
 #include "core/scalability.hpp"
+#include "multiplex/fdm.hpp"
 #include "multiplex/frequency_allocation.hpp"
+#include "routing/chip_router.hpp"
 #include "sim/fidelity_estimator.hpp"
 
 namespace {
@@ -120,6 +125,35 @@ printPartD()
                 "our theta=4 mix: ~44%%, ~$1.5B)\n\n");
 }
 
+/**
+ * Hot-path profile for the perf record: the full designer (forest fit,
+ * crosstalk prediction, frequency allocation) plus chip routing on one
+ * 80-qubit square system, so BENCH_fig17_scalability.json carries the
+ * design.*, noise.* and routing/astar phases tools/perf_check tracks.
+ */
+void
+printPartE()
+{
+    std::printf("Hot-path profile: full designer + routing, 80 "
+                "qubits\n");
+    bench::rule();
+    const ChipTopology chip = makeGridWithQubitCount(80);
+    Prng prng(0xF17E);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    YoutiaoConfig config;
+    const YoutiaoDesigner designer(config);
+    const YoutiaoDesign design = designer.design(chip, data);
+    const FdmPlan readout =
+        groupFdmLocalCluster(chip, config.cost.readoutFeedCapacity);
+    const auto nets =
+        buildWiringNets(chip, design.xyPlan, design.zPlan, readout);
+    const ChipRoutingResult route = routeChip(chip, nets);
+    std::printf("%zu nets routed, %zu crossovers, %.1f mm^2 routing "
+                "area\n\n",
+                route.netCount, route.crossovers.size(),
+                route.routingAreaMm2);
+}
+
 void
 BM_EstimateSquareSystem(benchmark::State &state)
 {
@@ -150,6 +184,7 @@ main(int argc, char **argv)
     printPartB();
     printPartC();
     printPartD();
+    printPartE();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -40,13 +40,16 @@ parseUint64Arg(const char *text, const char *what)
 }
 
 std::size_t
-parseSizeArg(const char *text, const char *what, std::size_t min)
+parseSizeArg(const char *text, const char *what, std::size_t min,
+             std::size_t max)
 {
     const std::uint64_t v = parseUint64Arg(text, what);
     requireConfig(v <= std::numeric_limits<std::size_t>::max(),
                   quoted(what, text) + " is out of range");
     requireConfig(v >= min, quoted(what, text) + " must be at least " +
                                 std::to_string(min));
+    requireConfig(v <= max, quoted(what, text) + " must be at most " +
+                                std::to_string(max));
     return static_cast<std::size_t>(v);
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 
 namespace youtiao {
 
@@ -25,12 +26,14 @@ namespace youtiao {
 std::uint64_t parseUint64Arg(const char *text, const char *what);
 
 /**
- * Parse @p text as a decimal integer >= @p min (default 1, so plain
- * calls reject zero). Throws ConfigError like parseUint64Arg, and when
- * the value is below @p min or does not fit std::size_t.
+ * Parse @p text as a decimal integer in [@p min, @p max] (defaults: at
+ * least 1, so plain calls reject zero; no upper bound). Throws
+ * ConfigError like parseUint64Arg, and when the value is outside the
+ * range or does not fit std::size_t.
  */
-std::size_t parseSizeArg(const char *text, const char *what,
-                         std::size_t min = 1);
+std::size_t parseSizeArg(
+    const char *text, const char *what, std::size_t min = 1,
+    std::size_t max = std::numeric_limits<std::size_t>::max());
 
 /**
  * Parse @p text as a finite, strictly positive floating-point number.

@@ -2,9 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "common/parallel.hpp"
 
@@ -139,8 +144,14 @@ ScopedTimer::~ScopedTimer()
 std::string
 phaseTable()
 {
-    const auto phases = Registry::global().phases();
-    const auto counters = Registry::global().counters();
+    return phaseTable(Registry::global().phases(),
+                      Registry::global().counters());
+}
+
+std::string
+phaseTable(const std::map<std::string, PhaseStats> &phases,
+           const std::map<std::string, std::uint64_t> &counters)
+{
     std::ostringstream out;
     char line[160];
     out << "\n-- phase profile --\n";
@@ -204,6 +215,42 @@ jsonEscape(const std::string &text)
     return out;
 }
 
+/**
+ * Peak resident set size of the process (bytes), or 0 where the platform
+ * does not expose it. ru_maxrss is kilobytes on Linux, bytes on macOS.
+ */
+std::uint64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+    return 0;
+#endif
+}
+
+/** Build flavour baked in by CMake (see src/CMakeLists.txt). */
+const char *
+buildType()
+{
+#if defined(YOUTIAO_BUILD_TYPE)
+    if (YOUTIAO_BUILD_TYPE[0] != '\0')
+        return YOUTIAO_BUILD_TYPE;
+#endif
+#if defined(NDEBUG)
+    return "NDEBUG"; // optimized build without a named CMake flavour
+#else
+    return "unspecified";
+#endif
+}
+
 } // namespace
 
 std::string
@@ -213,11 +260,19 @@ jsonReport(const std::string &benchmark)
     const auto counters = Registry::global().counters();
     std::ostringstream out;
     char buf[64];
+    const char *threads_env = std::getenv("YOUTIAO_THREADS");
     out << "{\n";
-    out << "  \"schema\": \"youtiao-perf-1\",\n";
+    out << "  \"schema\": \"youtiao-perf-2\",\n";
     out << "  \"benchmark\": \"" << jsonEscape(benchmark) << "\",\n";
     out << "  \"config\": {\n";
-    out << "    \"threads\": " << configuredThreadCount() << "\n";
+    out << "    \"threads\": " << configuredThreadCount() << ",\n";
+    if (threads_env != nullptr)
+        out << "    \"youtiao_threads_env\": \""
+            << jsonEscape(threads_env) << "\",\n";
+    else
+        out << "    \"youtiao_threads_env\": null,\n";
+    out << "    \"build_type\": \"" << jsonEscape(buildType()) << "\",\n";
+    out << "    \"peak_rss_bytes\": " << peakRssBytes() << "\n";
     out << "  },\n";
     out << "  \"phases\": {";
     bool first = true;

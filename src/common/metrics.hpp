@@ -118,9 +118,18 @@ count(std::string_view name, std::uint64_t delta = 1)
 std::string phaseTable();
 
 /**
+ * Same table for an explicit snapshot — lets callers print aggregated
+ * views (e.g. the median-of-N table of `--profile --repeat N`) without
+ * loading them into a registry.
+ */
+std::string phaseTable(const std::map<std::string, PhaseStats> &phases,
+                       const std::map<std::string, std::uint64_t> &counters);
+
+/**
  * Machine-readable perf record of the global registry (schema
- * "youtiao-perf-1", see docs/FILE_FORMATS.md): benchmark name, config
- * (thread count), per-phase wall times and call counts, counters.
+ * "youtiao-perf-2", see docs/FILE_FORMATS.md): benchmark name, config
+ * (resolved thread count, raw YOUTIAO_THREADS, build type, peak RSS),
+ * per-phase wall times and call counts, counters.
  */
 std::string jsonReport(const std::string &benchmark);
 

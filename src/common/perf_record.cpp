@@ -1,0 +1,354 @@
+#include "common/perf_record.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON reader over the perf-record subset.
+ * Values are exposed through typed getters that throw ConfigError on
+ * shape mismatches, so perf_check reports a named failure instead of
+ * crashing on a truncated or hand-edited record.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Boolean, Number, String, Object, Array };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::map<std::string, JsonValue> object;
+    std::vector<JsonValue> array;
+
+    const JsonValue &field(const std::string &name) const
+    {
+        requireConfig(kind == Kind::Object,
+                      "perf record: '" + name + "' looked up on a "
+                      "non-object value");
+        const auto it = object.find(name);
+        requireConfig(it != object.end(),
+                      "perf record: missing field '" + name + "'");
+        return it->second;
+    }
+
+    const std::string &asString(const std::string &what) const
+    {
+        requireConfig(kind == Kind::String,
+                      "perf record: " + what + " is not a string");
+        return text;
+    }
+
+    double asNumber(const std::string &what) const
+    {
+        requireConfig(kind == Kind::Number,
+                      "perf record: " + what + " is not a number");
+        return number;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text)
+        : text_(text)
+    {}
+
+    JsonValue parse()
+    {
+        JsonValue value = parseValue();
+        skipSpace();
+        requireConfig(at_ == text_.size(),
+                      "perf record: trailing characters after JSON value");
+        return value;
+    }
+
+  private:
+    void skipSpace()
+    {
+        while (at_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[at_])) != 0)
+            ++at_;
+    }
+
+    char peek()
+    {
+        skipSpace();
+        requireConfig(at_ < text_.size(),
+                      "perf record: unexpected end of JSON");
+        return text_[at_];
+    }
+
+    void expect(char c)
+    {
+        requireConfig(peek() == c, std::string("perf record: expected '") +
+                                       c + "' at offset " +
+                                       std::to_string(at_));
+        ++at_;
+    }
+
+    bool consume(char c)
+    {
+        if (at_ < text_.size() && peek() == c) {
+            ++at_;
+            return true;
+        }
+        return false;
+    }
+
+    bool consumeWord(const char *word)
+    {
+        const std::size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(at_, len, word) == 0) {
+            at_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parseValue()
+    {
+        const char c = peek();
+        JsonValue value;
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            value.kind = JsonValue::Kind::String;
+            value.text = parseString();
+            return value;
+          case 't':
+          case 'f':
+            value.kind = JsonValue::Kind::Boolean;
+            if (consumeWord("true")) {
+                value.boolean = true;
+                return value;
+            }
+            if (consumeWord("false"))
+                return value;
+            break;
+          case 'n':
+            if (consumeWord("null"))
+                return value;
+            break;
+          default:
+            return parseNumber();
+        }
+        requireConfig(false, "perf record: malformed JSON value at offset " +
+                                 std::to_string(at_));
+        return value; // unreachable
+    }
+
+    JsonValue parseObject()
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Object;
+        expect('{');
+        if (consume('}'))
+            return value;
+        while (true) {
+            requireConfig(peek() == '"',
+                          "perf record: object key must be a string");
+            const std::string key = parseString();
+            expect(':');
+            value.object[key] = parseValue();
+            if (consume(','))
+                continue;
+            expect('}');
+            return value;
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Array;
+        expect('[');
+        if (consume(']'))
+            return value;
+        while (true) {
+            value.array.push_back(parseValue());
+            if (consume(','))
+                continue;
+            expect(']');
+            return value;
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            requireConfig(at_ < text_.size(),
+                          "perf record: unterminated string");
+            const char c = text_[at_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            requireConfig(at_ < text_.size(),
+                          "perf record: unterminated escape");
+            const char esc = text_[at_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                requireConfig(at_ + 4 <= text_.size(),
+                              "perf record: truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = text_[at_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        requireConfig(false, "perf record: bad \\u digit");
+                }
+                // Report names are ASCII; anything else round-trips as
+                // a replacement byte rather than full UTF-16 handling.
+                out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default:
+                requireConfig(false, "perf record: unknown escape");
+            }
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        skipSpace();
+        const std::size_t start = at_;
+        while (at_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[at_])) != 0 ||
+                text_[at_] == '-' || text_[at_] == '+' ||
+                text_[at_] == '.' || text_[at_] == 'e' ||
+                text_[at_] == 'E'))
+            ++at_;
+        requireConfig(at_ > start, "perf record: malformed number at offset " +
+                                       std::to_string(start));
+        const std::string token = text_.substr(start, at_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        requireConfig(end != nullptr && *end == '\0' && std::isfinite(v),
+                      "perf record: malformed number '" + token + "'");
+        JsonValue value;
+        value.kind = JsonValue::Kind::Number;
+        value.number = v;
+        return value;
+    }
+
+    const std::string &text_;
+    std::size_t at_ = 0;
+};
+
+} // namespace
+
+PerfRecord
+parsePerfRecord(const std::string &json)
+{
+    const JsonValue root = JsonParser(json).parse();
+    PerfRecord record;
+    record.schema = root.field("schema").asString("schema");
+    requireConfig(record.schema == "youtiao-perf-1" ||
+                      record.schema == "youtiao-perf-2",
+                  "perf record: unknown schema '" + record.schema + "'");
+    record.benchmark = root.field("benchmark").asString("benchmark");
+    for (const auto &[name, entry] : root.field("phases").object) {
+        metrics::PhaseStats stats;
+        stats.seconds =
+            entry.field("seconds").asNumber("phase '" + name + "' seconds");
+        requireConfig(stats.seconds >= 0.0,
+                      "perf record: phase '" + name + "' has negative time");
+        stats.calls = static_cast<std::uint64_t>(
+            entry.field("calls").asNumber("phase '" + name + "' calls"));
+        record.phases[name] = stats;
+    }
+    for (const auto &[name, entry] : root.field("counters").object)
+        record.counters[name] = static_cast<std::uint64_t>(
+            entry.asNumber("counter '" + name + "'"));
+    return record;
+}
+
+PerfRecord
+loadPerfRecord(const std::string &path)
+{
+    std::ifstream in(path);
+    requireConfig(static_cast<bool>(in),
+                  "cannot read perf record '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        return parsePerfRecord(buffer.str());
+    } catch (const ConfigError &e) {
+        throw ConfigError(path + ": " + e.what());
+    }
+}
+
+PerfComparison
+comparePerfRecords(const PerfRecord &baseline, const PerfRecord &current,
+                   double max_regression, double min_seconds)
+{
+    requireConfig(max_regression >= 0.0,
+                  "max regression must be non-negative");
+    requireConfig(min_seconds >= 0.0, "time floor must be non-negative");
+    PerfComparison out;
+    for (const auto &[name, base] : baseline.phases) {
+        if (base.seconds < min_seconds)
+            continue; // too fast to time reliably
+        const auto it = current.phases.find(name);
+        if (it == current.phases.end()) {
+            out.missingPhases.push_back(name);
+            continue;
+        }
+        ++out.comparedPhases;
+        const double ratio = it->second.seconds / base.seconds;
+        if (ratio > 1.0 + max_regression)
+            out.regressions.push_back(
+                PhaseDelta{name, base.seconds, it->second.seconds, ratio});
+    }
+    std::sort(out.regressions.begin(), out.regressions.end(),
+              [](const PhaseDelta &a, const PhaseDelta &b) {
+                  return a.ratio > b.ratio;
+              });
+    return out;
+}
+
+} // namespace youtiao

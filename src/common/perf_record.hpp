@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Parsing and comparison of bench perf records (`BENCH_<name>.json`).
+ *
+ * The counterpart to metrics::jsonReport: loads a record written by a
+ * bench run back into structured form and compares two records for
+ * wall-clock regressions, so CI can fail a PR whose tracked phases got
+ * slower than a committed baseline (tools/perf_check.cpp). No external
+ * JSON dependency: the parser covers the subset of JSON the reports use
+ * (objects, strings, numbers, null) plus arrays for completeness.
+ */
+
+#ifndef YOUTIAO_COMMON_PERF_RECORD_HPP
+#define YOUTIAO_COMMON_PERF_RECORD_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace youtiao {
+
+/** One parsed `BENCH_<name>.json` record (schema youtiao-perf-1 or -2). */
+struct PerfRecord
+{
+    std::string schema;
+    std::string benchmark;
+    std::map<std::string, metrics::PhaseStats> phases;
+    std::map<std::string, std::uint64_t> counters;
+};
+
+/**
+ * Parse @p json as a perf record. Throws ConfigError on malformed JSON,
+ * a missing/unknown schema, or phase entries without numeric seconds.
+ */
+PerfRecord parsePerfRecord(const std::string &json);
+
+/** Read and parse the record at @p path. Throws ConfigError on failure. */
+PerfRecord loadPerfRecord(const std::string &path);
+
+/** One phase whose wall time moved between baseline and current. */
+struct PhaseDelta
+{
+    std::string phase;
+    double baselineSeconds = 0.0;
+    double currentSeconds = 0.0;
+    /** currentSeconds / baselineSeconds. */
+    double ratio = 0.0;
+};
+
+/** Result of comparing a current record against a baseline. */
+struct PerfComparison
+{
+    /** Phases slower than the allowed ratio, worst first. */
+    std::vector<PhaseDelta> regressions;
+    /** Phases compared (present in both, above the time floor). */
+    std::size_t comparedPhases = 0;
+    /** Baseline phases above the floor that current never recorded. */
+    std::vector<std::string> missingPhases;
+};
+
+/**
+ * Compare @p current against @p baseline: every baseline phase with at
+ * least @p min_seconds of wall time is checked, and phases whose current
+ * time exceeds baseline * (1 + @p max_regression) are reported as
+ * regressions. Phases below the floor are skipped (their timings are
+ * noise), as are phases absent from the baseline (new phases cannot
+ * regress).
+ */
+PerfComparison comparePerfRecords(const PerfRecord &baseline,
+                                  const PerfRecord &current,
+                                  double max_regression,
+                                  double min_seconds);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_COMMON_PERF_RECORD_HPP

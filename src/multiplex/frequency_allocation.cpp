@@ -5,9 +5,84 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/units.hpp"
 
 namespace youtiao {
+
+CrosstalkNeighborhood::CrosstalkNeighborhood(
+    const SymmetricMatrix &crosstalk,
+    const std::vector<std::size_t> &line_of_qubit, double epsilon)
+    : epsilon_(epsilon)
+{
+    const std::size_t n = line_of_qubit.size();
+    requireConfig(crosstalk.size() == n,
+                  "crosstalk matrix does not match the line map");
+    requireConfig(epsilon >= 0.0, "sparsification epsilon must be >= 0");
+    offsets_.assign(n + 1, 0);
+    // Entries stay in ascending `other` order so the sparse cost scan
+    // accumulates pairs in exactly the dense scan's order: with epsilon
+    // 0 the only skipped pairs contribute an exact +0.0, so sparse and
+    // dense sums are bit-identical.
+    for (std::size_t q = 0; q < n; ++q) {
+        offsets_[q] = entries_.size();
+        for (std::size_t o = 0; o < n; ++o) {
+            if (o == q)
+                continue;
+            const double x = crosstalk(q, o);
+            const bool mate = line_of_qubit[o] == line_of_qubit[q];
+            if (x > epsilon || mate)
+                entries_.push_back(Entry{static_cast<std::uint32_t>(o),
+                                         x, mate});
+        }
+    }
+    offsets_[n] = entries_.size();
+}
+
+IncrementalAllocationCost::IncrementalAllocationCost(
+    const CrosstalkNeighborhood &neighborhood, const NoiseModel &noise)
+    : neighborhood_(neighborhood),
+      noise_(noise),
+      frequencyGHz_(neighborhood.qubitCount(), 0.0),
+      placed_(neighborhood.qubitCount(), false)
+{}
+
+double
+IncrementalAllocationCost::pairCostAgainstPlaced(std::size_t q,
+                                                 double f_ghz) const
+{
+    double cost = 0.0;
+    for (const auto &e : neighborhood_.neighbors(q)) {
+        if (!placed_[e.other] || e.crosstalk <= 0.0)
+            continue;
+        cost += e.crosstalk *
+                noise_.spectralOverlap(std::abs(f_ghz -
+                                                frequencyGHz_[e.other]));
+    }
+    return cost;
+}
+
+void
+IncrementalAllocationCost::place(std::size_t q, double f_ghz)
+{
+    requireInternal(q < placed_.size() && !placed_[q],
+                    "qubit placed twice in the incremental cost");
+    total_ += pairCostAgainstPlaced(q, f_ghz);
+    frequencyGHz_[q] = f_ghz;
+    placed_[q] = true;
+}
+
+void
+IncrementalAllocationCost::move(std::size_t q, double f_ghz)
+{
+    requireInternal(q < placed_.size() && placed_[q],
+                    "cannot move an unplaced qubit");
+    placed_[q] = false;
+    total_ -= pairCostAgainstPlaced(q, frequencyGHz_[q]);
+    total_ += pairCostAgainstPlaced(q, f_ghz);
+    frequencyGHz_[q] = f_ghz;
+    placed_[q] = true;
+}
 
 namespace {
 
@@ -23,21 +98,23 @@ cellFrequency(std::size_t zone, std::size_t cell, double lo,
 /**
  * Crosstalk cost of qubit q at frequency f against allocated qubits:
  * spatial coupling weighted by spectral overlap, plus in-line pulse
- * leakage towards line mates.
+ * leakage towards line mates. Scans only the sparse neighbourhood, so a
+ * candidate evaluation is O(degree) instead of O(n).
  */
 double
 qubitCost(std::size_t q, double f, const std::vector<double> &freq,
           const std::vector<bool> &allocated,
-          const std::vector<std::size_t> &line_of_qubit,
-          const SymmetricMatrix &crosstalk, const NoiseModel &noise)
+          const CrosstalkNeighborhood &neighborhood,
+          const NoiseModel &noise)
 {
     double cost = 0.0;
-    for (std::size_t o = 0; o < freq.size(); ++o) {
-        if (o == q || !allocated[o])
+    for (const auto &e : neighborhood.neighbors(q)) {
+        if (!allocated[e.other])
             continue;
-        const double df = std::abs(f - freq[o]);
-        cost += crosstalk(q, o) * noise.spectralOverlap(df);
-        if (line_of_qubit[o] == line_of_qubit[q])
+        const double df = std::abs(f - freq[e.other]);
+        if (e.crosstalk > 0.0)
+            cost += e.crosstalk * noise.spectralOverlap(df);
+        if (e.sameLine)
             cost += noise.sharedLineLeakage(df);
     }
     return cost;
@@ -89,6 +166,11 @@ allocateFrequencies(const FdmPlan &plan,
     out.cellOfQubit.assign(n, 0);
     std::vector<bool> allocated(n, false);
 
+    const CrosstalkNeighborhood neighborhood(
+        predicted_crosstalk, plan.lineOfQubit, config.sparseEpsilon);
+    IncrementalAllocationCost running(neighborhood, noise);
+    metrics::count("freq.sparse_entries", neighborhood.entryCount());
+
     // Level 1: members of each line take distinct zones (member k ->
     // zone k). Level 2: pick the cell minimizing spectral-overlap-weighted
     // crosstalk against everything already placed; the overlap term makes
@@ -104,9 +186,8 @@ allocateFrequencies(const FdmPlan &plan,
                 const double f = cellFrequency(zone, cell, config.loGHz,
                                                zone_width, cell_ghz);
                 const double cost = qubitCost(q, f, out.frequencyGHz,
-                                              allocated,
-                                              plan.lineOfQubit,
-                                              predicted_crosstalk, noise);
+                                              allocated, neighborhood,
+                                              noise);
                 if (cost < best_cost) {
                     best_cost = cost;
                     best_cell = cell;
@@ -118,11 +199,14 @@ allocateFrequencies(const FdmPlan &plan,
                                                 config.loGHz, zone_width,
                                                 cell_ghz);
             allocated[q] = true;
+            running.place(q, out.frequencyGHz[q]);
         }
     }
 
     // Swap pass: exchanging two members' (zone, cell) slots within a line
-    // keeps both levels legal, so accept any swap lowering the cost.
+    // keeps both levels legal, so accept any swap lowering the cost. Each
+    // candidate is evaluated over the sparse neighbourhoods of the two
+    // members only — a delta instead of the full objective.
     for (std::size_t pass = 0; pass < config.swapPasses; ++pass) {
         bool improved = false;
         for (const auto &line : plan.lines) {
@@ -132,25 +216,23 @@ allocateFrequencies(const FdmPlan &plan,
                     const double before =
                         qubitCost(qa, out.frequencyGHz[qa],
                                   out.frequencyGHz, allocated,
-                                  plan.lineOfQubit,
-                                  predicted_crosstalk, noise) +
+                                  neighborhood, noise) +
                         qubitCost(qb, out.frequencyGHz[qb],
                                   out.frequencyGHz, allocated,
-                                  plan.lineOfQubit,
-                                  predicted_crosstalk, noise);
+                                  neighborhood, noise);
                     std::swap(out.frequencyGHz[qa], out.frequencyGHz[qb]);
                     const double after =
                         qubitCost(qa, out.frequencyGHz[qa],
                                   out.frequencyGHz, allocated,
-                                  plan.lineOfQubit,
-                                  predicted_crosstalk, noise) +
+                                  neighborhood, noise) +
                         qubitCost(qb, out.frequencyGHz[qb],
                                   out.frequencyGHz, allocated,
-                                  plan.lineOfQubit,
-                                  predicted_crosstalk, noise);
+                                  neighborhood, noise);
                     if (after + 1e-15 < before) {
                         std::swap(out.zoneOfQubit[qa], out.zoneOfQubit[qb]);
                         std::swap(out.cellOfQubit[qa], out.cellOfQubit[qb]);
+                        running.move(qa, out.frequencyGHz[qa]);
+                        running.move(qb, out.frequencyGHz[qb]);
                         improved = true;
                     } else {
                         std::swap(out.frequencyGHz[qa],
@@ -163,8 +245,14 @@ allocateFrequencies(const FdmPlan &plan,
             break;
     }
 
-    out.crosstalkCost = allocationCrosstalkCost(out.frequencyGHz,
-                                                predicted_crosstalk, noise);
+    // Exact mode reports the canonical full objective (bit-compatible
+    // with the dense implementation); fast mode reports the sparse
+    // objective the delta updates maintained, skipping the O(n^2) scan.
+    out.crosstalkCost =
+        config.sparseEpsilon == 0.0
+            ? allocationCrosstalkCost(out.frequencyGHz,
+                                      predicted_crosstalk, noise)
+            : running.total();
     return out;
 }
 
@@ -190,6 +278,9 @@ allocateFrequenciesConstrained(const FdmPlan &plan,
     out.cellOfQubit.assign(n, 0);
     std::vector<bool> allocated(n, false);
     const double cell_ghz = config.cellMHz * units::MHz;
+
+    const CrosstalkNeighborhood neighborhood(
+        predicted_crosstalk, plan.lineOfQubit, config.sparseEpsilon);
 
     // Candidate cells per qubit: the +/- window around its fabrication
     // frequency, on the global cell comb. Zones are whatever the
@@ -217,9 +308,8 @@ allocateFrequenciesConstrained(const FdmPlan &plan,
                     std::abs(f - base) > max_retune_ghz)
                     continue;
                 const double cost = qubitCost(q, f, out.frequencyGHz,
-                                              allocated,
-                                              plan.lineOfQubit,
-                                              predicted_crosstalk, noise);
+                                              allocated, neighborhood,
+                                              noise);
                 if (cost < best_cost) {
                     best_cost = cost;
                     best_f = f;

@@ -88,9 +88,10 @@ CrosstalkModel::fit(const std::vector<CrosstalkSample> &samples,
             Prng fold_prng = prng.split();
             RandomForest forest(config.forest);
             forest.fit(train_x, 1, train_y, fold_prng);
+            std::vector<double> pred(test_x.size());
+            forest.predictBatch(test_x, 1, pred);
             for (std::size_t i = 0; i < test_x.size(); ++i) {
-                const double pred = forest.predict({&test_x[i], 1});
-                const double err = pred - test_y[i];
+                const double err = pred[i] - test_y[i];
                 error_sum += err * err;
                 ++error_count;
             }
@@ -128,9 +129,22 @@ CrosstalkModel::predictQubitMatrix(const ChipTopology &chip) const
     const SymmetricMatrix d_phy = qubitPhysicalDistanceMatrix(chip);
     const SymmetricMatrix d_top = qubitTopologicalDistanceMatrix(chip);
     SymmetricMatrix out(chip.qubitCount());
+
+    // One batched forest pass over all n*(n-1)/2 pair features instead of
+    // a tree walk per pair; exp() applied per slot afterwards matches
+    // per-pair predict() bit for bit.
+    std::vector<double> d_equiv;
+    d_equiv.reserve(out.size() * (out.size() - 1) / 2);
     for (std::size_t i = 0; i < out.size(); ++i) {
         for (std::size_t j = i + 1; j < out.size(); ++j)
-            out(i, j) = predict(d_phy(i, j), d_top(i, j));
+            d_equiv.push_back(equivalentDistance(d_phy(i, j), d_top(i, j)));
+    }
+    std::vector<double> log_pred(d_equiv.size());
+    forest_.predictBatch(d_equiv, 1, log_pred);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        for (std::size_t j = i + 1; j < out.size(); ++j)
+            out(i, j) = std::exp(log_pred[k++]);
     }
     return out;
 }

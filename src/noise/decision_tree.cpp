@@ -162,6 +162,28 @@ DecisionTree::predict(std::span<const double> row) const
     return nodes_[at].value;
 }
 
+std::uint32_t
+DecisionTree::appendFlattened(FlatTreeNodes &out) const
+{
+    requireConfig(trained(), "appendFlattened() before fit()");
+    const std::size_t base = out.size();
+    requireInternal(base + nodes_.size() <=
+                        std::numeric_limits<std::uint32_t>::max(),
+                    "flattened forest exceeds 32-bit node indices");
+    out.feature.reserve(base + nodes_.size());
+    for (const Node &n : nodes_) {
+        const bool leaf = n.feature == kLeaf;
+        out.feature.push_back(
+            leaf ? FlatTreeNodes::kFlatLeaf
+                 : static_cast<std::int32_t>(n.feature));
+        out.threshold.push_back(n.threshold);
+        out.value.push_back(n.value);
+        out.left.push_back(static_cast<std::uint32_t>(base + n.left));
+        out.right.push_back(static_cast<std::uint32_t>(base + n.right));
+    }
+    return static_cast<std::uint32_t>(base);
+}
+
 std::size_t
 DecisionTree::depth() const
 {

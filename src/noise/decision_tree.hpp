@@ -11,10 +11,44 @@
 #define YOUTIAO_NOISE_DECISION_TREE_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 namespace youtiao {
+
+/**
+ * Contiguous SoA node pool holding one or more flattened trees. Walking a
+ * tree touches four parallel arrays instead of pointer-sized Node structs,
+ * so batch inference streams through cache lines; a pool can hold a whole
+ * forest back to back (see DecisionTree::appendFlattened).
+ */
+struct FlatTreeNodes
+{
+    /** Split feature per node; kFlatLeaf marks a leaf. */
+    std::vector<std::int32_t> feature;
+    /** Split threshold per node ("<=" goes left; unused on leaves). */
+    std::vector<double> threshold;
+    /** Leaf prediction per node (unused on splits). */
+    std::vector<double> value;
+    std::vector<std::uint32_t> left;
+    std::vector<std::uint32_t> right;
+
+    static constexpr std::int32_t kFlatLeaf = -1;
+
+    std::size_t size() const { return feature.size(); }
+
+    /** Walk one tree rooted at @p root for @p row. */
+    double predictRow(std::uint32_t root, std::span<const double> row) const
+    {
+        std::uint32_t at = root;
+        while (feature[at] != kFlatLeaf)
+            at = row[static_cast<std::size_t>(feature[at])] <= threshold[at]
+                     ? left[at]
+                     : right[at];
+        return value[at];
+    }
+};
 
 /** Hyper-parameters of a regression tree. */
 struct DecisionTreeConfig
@@ -45,6 +79,12 @@ class DecisionTree
 
     /** Predict one sample (featureCount values). */
     double predict(std::span<const double> row) const;
+
+    /**
+     * Append this tree's nodes to @p out in SoA layout (child indices
+     * rebased onto the pool) and return the index of its root.
+     */
+    std::uint32_t appendFlattened(FlatTreeNodes &out) const;
 
     /** True once fit() has produced at least a root leaf. */
     bool trained() const { return !nodes_.empty(); }

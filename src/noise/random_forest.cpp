@@ -48,16 +48,55 @@ RandomForest::fit(std::span<const double> features,
             bag[k] = local.uniformInt(n);
         trees_[t].fit(features, feature_count, targets, bag);
     });
+
+    // Flatten the fitted trees into one SoA pool; inference walks this
+    // instead of chasing per-tree Node vectors.
+    featureCount_ = feature_count;
+    flat_ = FlatTreeNodes{};
+    roots_.clear();
+    roots_.reserve(trees_.size());
+    for (const DecisionTree &tree : trees_)
+        roots_.push_back(tree.appendFlattened(flat_));
 }
 
 double
 RandomForest::predict(std::span<const double> row) const
 {
     requireConfig(trained(), "predict() before fit()");
+    requireConfig(row.size() == featureCount_,
+                  "feature row has the wrong width");
     double sum = 0.0;
-    for (const DecisionTree &tree : trees_)
-        sum += tree.predict(row);
-    return sum / static_cast<double>(trees_.size());
+    for (const std::uint32_t root : roots_)
+        sum += flat_.predictRow(root, row);
+    return sum / static_cast<double>(roots_.size());
+}
+
+void
+RandomForest::predictBatch(std::span<const double> features,
+                           std::size_t feature_count,
+                           std::span<double> out) const
+{
+    requireConfig(trained(), "predictBatch() before fit()");
+    requireConfig(feature_count == featureCount_,
+                  "feature rows have the wrong width");
+    requireConfig(features.size() == out.size() * feature_count,
+                  "feature matrix does not match the output size");
+    const metrics::ScopedTimer timer("noise.forest_predict");
+    metrics::count("noise.rows_predicted", out.size());
+    const auto tree_count = static_cast<double>(roots_.size());
+    // Rows are independent and each writes only its own slot, so chunking
+    // is deterministic; within a row trees accumulate in tree order and
+    // divide exactly as predict() does, matching it bit for bit.
+    parallelChunks(0, out.size(), 0, [&](std::size_t b, std::size_t e) {
+        for (std::size_t r = b; r < e; ++r) {
+            const std::span<const double> row =
+                features.subspan(r * feature_count, feature_count);
+            double sum = 0.0;
+            for (const std::uint32_t root : roots_)
+                sum += flat_.predictRow(root, row);
+            out[r] = sum / tree_count;
+        }
+    });
 }
 
 } // namespace youtiao

@@ -11,6 +11,7 @@
 #ifndef YOUTIAO_NOISE_RANDOM_FOREST_HPP
 #define YOUTIAO_NOISE_RANDOM_FOREST_HPP
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -44,12 +45,27 @@ class RandomForest
     /** Mean prediction across trees for one feature row. */
     double predict(std::span<const double> row) const;
 
+    /**
+     * Mean prediction for every row of @p features (row-major,
+     * out.size() x feature_count), parallelized over row blocks. Each
+     * row's trees are summed in tree order into a per-row slot, so the
+     * result is bit-identical to calling predict() per row at any
+     * YOUTIAO_THREADS setting.
+     */
+    void predictBatch(std::span<const double> features,
+                      std::size_t feature_count,
+                      std::span<double> out) const;
+
     bool trained() const { return !trees_.empty(); }
     std::size_t treeCount() const { return trees_.size(); }
 
   private:
     RandomForestConfig config_;
     std::vector<DecisionTree> trees_;
+    /** SoA node pool built at the end of fit(); predict walks this. */
+    FlatTreeNodes flat_;
+    std::vector<std::uint32_t> roots_;
+    std::size_t featureCount_ = 0;
 };
 
 } // namespace youtiao

@@ -54,6 +54,14 @@ std::optional<RoutedPath>
 routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
            const AstarConfig &config)
 {
+    SearchArena arena;
+    return routeAstar(grid, from, to, net_id, arena, config);
+}
+
+std::optional<RoutedPath>
+routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
+           SearchArena &arena, const AstarConfig &config)
+{
     requireConfig(net_id >= 0, "net id must be non-negative");
     const std::size_t w = grid.width();
     const std::size_t h = grid.height();
@@ -69,14 +77,12 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
         return std::nullopt;
 
     // Search state: (cell, incoming direction). Direction matters only on
-    // foreign metal, where a bridge forces straight continuation.
+    // foreign metal, where a bridge forces straight continuation. The
+    // arena holds g/parent/closed per state; begin() invalidates the
+    // previous search in O(1) instead of refilling O(states) memory.
     const std::size_t state_count = w * h * kDirCount;
-    constexpr double inf = std::numeric_limits<double>::infinity();
-    std::vector<double> g_cost(state_count, inf);
-    std::vector<bool> closed(state_count, false);
-    constexpr std::uint32_t no_parent =
-        std::numeric_limits<std::uint32_t>::max();
-    std::vector<std::uint32_t> parent(state_count, no_parent);
+    arena.begin(state_count);
+    constexpr std::uint32_t no_parent = SearchArena::kNoParent;
 
     using Entry = std::pair<double, std::uint32_t>;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
@@ -84,7 +90,7 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
     for (int d = 0; d < kDirCount; ++d) {
         const std::size_t s = flat(from) * kDirCount +
                               static_cast<std::size_t>(d);
-        g_cost[s] = 0.0;
+        arena.relax(s, 0.0, no_parent);
         open.emplace(heuristic(from, to), static_cast<std::uint32_t>(s));
     }
 
@@ -94,9 +100,9 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
         const auto [f, state] = open.top();
         open.pop();
         (void)f;
-        if (closed[state])
+        if (arena.closed(state))
             continue;
-        closed[state] = true;
+        arena.close(state);
         ++expanded;
         const std::size_t idx = state / kDirCount;
         const int dir_in = static_cast<int>(state % kDirCount);
@@ -144,10 +150,9 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
             }
             const std::size_t nstate =
                 flat(next) * kDirCount + static_cast<std::size_t>(d);
-            const double cand = g_cost[state] + step;
-            if (!closed[nstate] && cand < g_cost[nstate]) {
-                g_cost[nstate] = cand;
-                parent[nstate] = state;
+            const double cand = arena.g(state) + step;
+            if (!arena.closed(nstate) && cand < arena.g(nstate)) {
+                arena.relax(nstate, cand, state);
                 open.emplace(cand + heuristic(next, to),
                              static_cast<std::uint32_t>(nstate));
             }
@@ -165,9 +170,9 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
     while (true) {
         const std::size_t idx = state / kDirCount;
         path.cells.push_back(Cell{idx % w, idx / w});
-        if (idx == from_idx && parent[state] == no_parent)
+        if (idx == from_idx && arena.parent(state) == no_parent)
             break;
-        state = parent[state];
+        state = arena.parent(state);
         requireInternal(state != no_parent, "broken A* parent chain");
     }
     std::reverse(path.cells.begin(), path.cells.end());

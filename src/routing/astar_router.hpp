@@ -17,6 +17,8 @@
 #ifndef YOUTIAO_ROUTING_ASTAR_ROUTER_HPP
 #define YOUTIAO_ROUTING_ASTAR_ROUTER_HPP
 
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -68,6 +70,79 @@ std::size_t astarMaxCells();
 void requireAstarIndexable(std::size_t width, std::size_t height);
 
 /**
+ * Reusable A* working memory: g-cost, parent and closed-set arrays of one
+ * state per (cell, direction), kept alive across searches. begin() makes
+ * every entry logically stale by bumping a generation counter instead of
+ * refilling the arrays, so per-search setup is O(1) amortized — the
+ * arrays are touched only where the search actually expands. A fresh
+ * arena per call reproduces the original allocate-and-fill behaviour
+ * exactly; reuse across calls is bit-identical because stale entries read
+ * back as the old fill values (g = +inf, not closed).
+ */
+class SearchArena
+{
+  public:
+    static constexpr std::uint32_t kNoParent =
+        std::numeric_limits<std::uint32_t>::max();
+
+    /** Invalidate all state for a new search over @p state_count states. */
+    void begin(std::size_t state_count)
+    {
+        if (state_count > g_.size()) {
+            g_.resize(state_count);
+            parent_.resize(state_count);
+            stamp_.assign(state_count, 0);
+            closedStamp_.assign(state_count, 0);
+            generation_ = 1;
+            return;
+        }
+        if (++generation_ == 0) { // generation wrapped: hard reset
+            stamp_.assign(stamp_.size(), 0);
+            closedStamp_.assign(closedStamp_.size(), 0);
+            generation_ = 1;
+        }
+    }
+
+    double g(std::size_t s) const
+    {
+        return stamp_[s] == generation_
+                   ? g_[s]
+                   : std::numeric_limits<double>::infinity();
+    }
+
+    /** Record the best-known cost and predecessor of state @p s. */
+    void relax(std::size_t s, double g, std::uint32_t parent)
+    {
+        stamp_[s] = generation_;
+        g_[s] = g;
+        parent_[s] = parent;
+    }
+
+    bool closed(std::size_t s) const
+    {
+        return closedStamp_[s] == generation_;
+    }
+    void close(std::size_t s) { closedStamp_[s] = generation_; }
+
+    /**
+     * Predecessor of @p s; valid only for states relaxed this search
+     * (path reconstruction walks exactly those).
+     */
+    std::uint32_t parent(std::size_t s) const { return parent_[s]; }
+
+    /** States the arena can hold without regrowing (diagnostic). */
+    std::size_t capacity() const { return g_.size(); }
+
+  private:
+    std::vector<double> g_;
+    std::vector<std::uint32_t> parent_;
+    /** Generation when g_/parent_ at a state were last written. */
+    std::vector<std::uint32_t> stamp_;
+    std::vector<std::uint32_t> closedStamp_;
+    std::uint32_t generation_ = 0;
+};
+
+/**
  * Route @p net_id from @p from to @p to on @p grid. Obstacles are
  * impassable; other nets' cells may be bridged perpendicularly. On
  * success the new cells are claimed for the net and the path returned;
@@ -75,6 +150,15 @@ void requireAstarIndexable(std::size_t width, std::size_t height);
  */
 std::optional<RoutedPath> routeAstar(RoutingGrid &grid, Cell from, Cell to,
                                      std::int32_t net_id,
+                                     const AstarConfig &config = {});
+
+/**
+ * Same search reusing @p arena's buffers across calls (the chip router
+ * routes one net at a time and passes one arena through the whole chip).
+ * Results are identical to the fresh-buffer overload.
+ */
+std::optional<RoutedPath> routeAstar(RoutingGrid &grid, Cell from, Cell to,
+                                     std::int32_t net_id, SearchArena &arena,
                                      const AstarConfig &config = {});
 
 } // namespace youtiao

@@ -163,7 +163,7 @@ ChipRoutingResult
 routeOnce(const ChipTopology &chip, const std::vector<NetSpec> &nets,
           const ChipRoutingConfig &config,
           const std::vector<std::size_t> &order,
-          std::vector<bool> &net_failed)
+          std::vector<bool> &net_failed, SearchArena &arena)
 {
     requireConfig(!nets.empty(), "no nets to route");
     // Device-extent bounding box.
@@ -266,7 +266,8 @@ routeOnce(const ChipTopology &chip, const std::vector<NetSpec> &nets,
         Cell anchor = iface;
         for (const Point &t : tour) {
             const Cell target = grid.cellAt(t);
-            const auto path = routeAstar(grid, anchor, target, net_id);
+            const auto path =
+                routeAstar(grid, anchor, target, net_id, arena);
             if (!path.has_value()) {
                 ++result.failedConnections;
                 net_failed[net_index] = true;
@@ -317,10 +318,12 @@ routeChip(const ChipTopology &chip, const std::vector<NetSpec> &nets,
     std::vector<bool> net_failed;
     ChipRoutingResult best;
     bool have_best = false;
+    // One arena serves every A* call across all nets and retry attempts.
+    SearchArena arena;
     for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
         metrics::count("routing.attempts");
         ChipRoutingResult result =
-            routeOnce(chip, nets, config, order, net_failed);
+            routeOnce(chip, nets, config, order, net_failed, arena);
         if (!have_best ||
             result.failedConnections < best.failedConnections) {
             best = std::move(result);

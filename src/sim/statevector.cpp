@@ -151,14 +151,21 @@ StateVector::applyGate(const Gate &gate)
       case GateKind::SWAP: {
         const std::size_t bit_a = std::size_t{1} << gate.qubit0;
         const std::size_t bit_b = std::size_t{1} << gate.qubit1;
-        for (std::size_t i = 0; i < amps_.size(); ++i) {
-            const bool ai = (i & bit_a) != 0;
-            const bool bi = (i & bit_b) != 0;
-            if (ai && !bi) {
-                const std::size_t j = (i & ~bit_a) | bit_b;
-                std::swap(amps_[i], amps_[j]);
-            }
-        }
+        // Only indices with (a=1, b=0) act, each swapping with its unique
+        // (a=0, b=1) partner, so distinct i touch disjoint pairs and
+        // chunking the full range is race-free and order-independent.
+        parallelChunks(0, amps_.size(), ampGrain(amps_.size()),
+                       [&](std::size_t lo, std::size_t hi) {
+                           for (std::size_t i = lo; i < hi; ++i) {
+                               const bool ai = (i & bit_a) != 0;
+                               const bool bi = (i & bit_b) != 0;
+                               if (ai && !bi) {
+                                   const std::size_t j =
+                                       (i & ~bit_a) | bit_b;
+                                   std::swap(amps_[i], amps_[j]);
+                               }
+                           }
+                       });
         break;
       }
       case GateKind::Measure:

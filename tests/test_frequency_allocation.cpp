@@ -189,6 +189,112 @@ TEST(FrequencyAllocation, BadBandThrows)
                  ConfigError);
 }
 
+// -- incremental cost tracking (sparse neighbourhood delta updates) --------
+
+TEST(IncrementalCost, MatchesFullRecomputeOverRandomizedPlans)
+{
+    // Property: after any sequence of placements and retunes, the running
+    // total equals the O(n^2) allocationCrosstalkCost recompute to 1e-9.
+    Prng prng(41);
+    for (std::size_t trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 8 + prng.uniformInt(24);
+        SymmetricMatrix crosstalk(n);
+        std::vector<std::size_t> line_of_qubit(n);
+        for (std::size_t q = 0; q < n; ++q)
+            line_of_qubit[q] = prng.uniformInt(1 + n / 4);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j)
+                crosstalk(i, j) = 5e-3 * prng.uniform();
+        const NoiseModel noise;
+        const CrosstalkNeighborhood nbr(crosstalk, line_of_qubit, 0.0);
+        IncrementalAllocationCost running(nbr, noise);
+
+        std::vector<double> freq(n, 0.0);
+        for (std::size_t q = 0; q < n; ++q) {
+            freq[q] = 4.0 + 3.0 * prng.uniform();
+            running.place(q, freq[q]);
+        }
+        EXPECT_NEAR(running.total(),
+                    allocationCrosstalkCost(freq, crosstalk, noise), 1e-9);
+
+        for (std::size_t m = 0; m < 3 * n; ++m) {
+            const std::size_t q = prng.uniformInt(n);
+            freq[q] = 4.0 + 3.0 * prng.uniform();
+            running.move(q, freq[q]);
+        }
+        EXPECT_NEAR(running.total(),
+                    allocationCrosstalkCost(freq, crosstalk, noise), 1e-9);
+    }
+}
+
+TEST(IncrementalCost, PlaceTwiceOrMoveUnplacedThrows)
+{
+    SymmetricMatrix crosstalk(2);
+    crosstalk(0, 1) = 1e-3;
+    const std::vector<std::size_t> lines{0, 1};
+    const CrosstalkNeighborhood nbr(crosstalk, lines, 0.0);
+    IncrementalAllocationCost cost(nbr, NoiseModel{});
+    EXPECT_THROW(cost.move(0, 5.0), InternalError);
+    cost.place(0, 5.0);
+    EXPECT_THROW(cost.place(0, 5.5), InternalError);
+}
+
+TEST(CrosstalkNeighborhood, EpsilonZeroKeepsEveryNonzeroPairAndMates)
+{
+    const CrosstalkNeighborhood nbr(setup().crosstalk,
+                                    setup().plan.lineOfQubit, 0.0);
+    const std::size_t n = setup().plan.lineOfQubit.size();
+    for (std::size_t q = 0; q < n; ++q) {
+        std::size_t expected = 0;
+        for (std::size_t o = 0; o < n; ++o) {
+            if (o == q)
+                continue;
+            if (setup().crosstalk(q, o) > 0.0 ||
+                setup().plan.lineOfQubit[o] ==
+                    setup().plan.lineOfQubit[q])
+                ++expected;
+        }
+        EXPECT_EQ(nbr.neighbors(q).size(), expected);
+    }
+}
+
+TEST(CrosstalkNeighborhood, FastEpsilonDropsFarPairs)
+{
+    const CrosstalkNeighborhood exact(setup().crosstalk,
+                                      setup().plan.lineOfQubit, 0.0);
+    const CrosstalkNeighborhood fast(setup().crosstalk,
+                                     setup().plan.lineOfQubit,
+                                     kFastAllocationEpsilon);
+    // The synthesized matrices have a 1e-6 crosstalk floor, so the fast
+    // epsilon must prune real work, not just the diagonal.
+    EXPECT_LT(fast.entryCount(), exact.entryCount());
+    // Every kept non-mate entry is genuinely above the threshold.
+    for (std::size_t q = 0; q < fast.qubitCount(); ++q)
+        for (const auto &e : fast.neighbors(q))
+            EXPECT_TRUE(e.sameLine ||
+                        e.crosstalk > kFastAllocationEpsilon);
+}
+
+TEST(FrequencyAllocation, FastEpsilonStaysNearExactObjective)
+{
+    const FrequencyPlan exact = allocateFrequencies(
+        setup().plan, setup().crosstalk, setup().noise);
+    FrequencyAllocationConfig fast_cfg;
+    fast_cfg.sparseEpsilon = kFastAllocationEpsilon;
+    const FrequencyPlan fast = allocateFrequencies(
+        setup().plan, setup().crosstalk, setup().noise, fast_cfg);
+    // Fast mode may pick different cells, but its true objective (full
+    // recompute over its frequencies) must stay within the total bias
+    // bound: n^2/2 dropped pairs of at most epsilon each.
+    const double exact_cost = allocationCrosstalkCost(
+        exact.frequencyGHz, setup().crosstalk, setup().noise);
+    const double fast_cost = allocationCrosstalkCost(
+        fast.frequencyGHz, setup().crosstalk, setup().noise);
+    const auto n = static_cast<double>(setup().plan.lineOfQubit.size());
+    EXPECT_LE(fast_cost,
+              exact_cost + 0.5 * n * n * kFastAllocationEpsilon);
+}
+
 } // namespace
 } // namespace youtiao
 

@@ -100,11 +100,14 @@ TEST(Metrics, JsonReportHasSchemaConfigPhasesCounters)
     }
     metrics::count("json.counter", 42);
     const std::string json = metrics::jsonReport("unit_test");
-    EXPECT_NE(json.find("\"schema\": \"youtiao-perf-1\""),
+    EXPECT_NE(json.find("\"schema\": \"youtiao-perf-2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"benchmark\": \"unit_test\""),
               std::string::npos);
     EXPECT_NE(json.find("\"threads\":"), std::string::npos);
+    EXPECT_NE(json.find("\"youtiao_threads_env\":"), std::string::npos);
+    EXPECT_NE(json.find("\"build_type\":"), std::string::npos);
+    EXPECT_NE(json.find("\"peak_rss_bytes\":"), std::string::npos);
     EXPECT_NE(json.find("\"json.phase\""), std::string::npos);
     EXPECT_NE(json.find("\"json.counter\": 42"), std::string::npos);
     metrics::Registry::global().reset();

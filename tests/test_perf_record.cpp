@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/perf_record.hpp"
+
+namespace youtiao {
+namespace {
+
+TEST(PerfRecord, ParsesLiveJsonReport)
+{
+    // Round-trip: whatever metrics::jsonReport emits must parse back
+    // into the same phase and counter values, so perf_check can always
+    // read records the bench harness writes.
+    metrics::Registry::global().reset();
+    {
+        const metrics::ScopedTimer timer("phase.alpha");
+        metrics::count("counter.rows", 42);
+    }
+    {
+        const metrics::ScopedTimer timer("phase.beta");
+    }
+    const PerfRecord record =
+        parsePerfRecord(metrics::jsonReport("round_trip"));
+    EXPECT_EQ(record.schema, "youtiao-perf-2");
+    EXPECT_EQ(record.benchmark, "round_trip");
+    ASSERT_EQ(record.phases.count("phase.alpha"), 1u);
+    ASSERT_EQ(record.phases.count("phase.beta"), 1u);
+    EXPECT_EQ(record.phases.at("phase.alpha").calls, 1u);
+    EXPECT_GE(record.phases.at("phase.alpha").seconds, 0.0);
+    ASSERT_EQ(record.counters.count("counter.rows"), 1u);
+    EXPECT_EQ(record.counters.at("counter.rows"), 42u);
+    metrics::Registry::global().reset();
+}
+
+PerfRecord
+makeRecord(double alpha_seconds, double beta_seconds)
+{
+    PerfRecord r;
+    r.schema = "youtiao-perf-2";
+    r.benchmark = "synthetic";
+    r.phases["phase.alpha"] = metrics::PhaseStats{alpha_seconds, 3};
+    r.phases["phase.beta"] = metrics::PhaseStats{beta_seconds, 1};
+    return r;
+}
+
+TEST(PerfRecord, ComparisonFlagsRegressionsPastBudget)
+{
+    const PerfRecord base = makeRecord(1.0, 2.0);
+    const PerfRecord slower = makeRecord(1.2, 2.8);
+    // +20% alpha sits inside a 25% budget; +40% beta does not.
+    const PerfComparison cmp =
+        comparePerfRecords(base, slower, 0.25, 0.01);
+    EXPECT_EQ(cmp.comparedPhases, 2u);
+    ASSERT_EQ(cmp.regressions.size(), 1u);
+    EXPECT_EQ(cmp.regressions.front().phase, "phase.beta");
+    EXPECT_NEAR(cmp.regressions.front().ratio, 1.4, 1e-12);
+
+    const PerfComparison ok = comparePerfRecords(base, slower, 0.5, 0.01);
+    EXPECT_TRUE(ok.regressions.empty());
+}
+
+TEST(PerfRecord, ComparisonSortsWorstRegressionFirst)
+{
+    const PerfRecord base = makeRecord(1.0, 1.0);
+    const PerfRecord slower = makeRecord(1.5, 3.0);
+    const PerfComparison cmp =
+        comparePerfRecords(base, slower, 0.25, 0.01);
+    ASSERT_EQ(cmp.regressions.size(), 2u);
+    EXPECT_EQ(cmp.regressions[0].phase, "phase.beta");
+    EXPECT_EQ(cmp.regressions[1].phase, "phase.alpha");
+}
+
+TEST(PerfRecord, MinSecondsFloorSkipsNoisyPhases)
+{
+    // A 5x blowup on a sub-floor phase is timing noise, not a
+    // regression; the floor must keep it out of the comparison.
+    const PerfRecord base = makeRecord(0.002, 1.0);
+    PerfRecord current = makeRecord(0.010, 1.0);
+    const PerfComparison cmp =
+        comparePerfRecords(base, current, 0.25, 0.01);
+    EXPECT_EQ(cmp.comparedPhases, 1u);
+    EXPECT_TRUE(cmp.regressions.empty());
+}
+
+TEST(PerfRecord, MissingPhaseWarnsInsteadOfFailing)
+{
+    const PerfRecord base = makeRecord(1.0, 2.0);
+    PerfRecord current = makeRecord(1.0, 2.0);
+    current.phases.erase("phase.beta");
+    const PerfComparison cmp =
+        comparePerfRecords(base, current, 0.25, 0.01);
+    EXPECT_EQ(cmp.comparedPhases, 1u);
+    EXPECT_TRUE(cmp.regressions.empty());
+    ASSERT_EQ(cmp.missingPhases.size(), 1u);
+    EXPECT_EQ(cmp.missingPhases.front(), "phase.beta");
+}
+
+TEST(PerfRecord, AcceptsLegacySchemaV1)
+{
+    const PerfRecord record = parsePerfRecord(R"({
+        "schema": "youtiao-perf-1",
+        "benchmark": "legacy",
+        "config": {"threads": 1},
+        "phases": {"phase.alpha": {"seconds": 0.5, "calls": 2}},
+        "counters": {"counter.rows": 7}
+    })");
+    EXPECT_EQ(record.schema, "youtiao-perf-1");
+    EXPECT_EQ(record.phases.at("phase.alpha").calls, 2u);
+    EXPECT_EQ(record.counters.at("counter.rows"), 7u);
+}
+
+TEST(PerfRecord, RejectsMalformedRecords)
+{
+    EXPECT_THROW(parsePerfRecord(""), ConfigError);
+    EXPECT_THROW(parsePerfRecord("{"), ConfigError);
+    EXPECT_THROW(parsePerfRecord("{}"), ConfigError);
+    EXPECT_THROW(parsePerfRecord(R"({"schema": "unknown-schema",
+        "benchmark": "x", "phases": {}, "counters": {}})"),
+                 ConfigError);
+    // Phase seconds must be a non-negative number.
+    EXPECT_THROW(parsePerfRecord(R"({"schema": "youtiao-perf-2",
+        "benchmark": "x",
+        "phases": {"p": {"seconds": -1.0, "calls": 1}},
+        "counters": {}})"),
+                 ConfigError);
+    EXPECT_THROW(parsePerfRecord(R"({"schema": "youtiao-perf-2",
+        "benchmark": "x",
+        "phases": {"p": {"seconds": "fast", "calls": 1}},
+        "counters": {}})"),
+                 ConfigError);
+    // Trailing junk after the closing brace is a truncated/concatenated
+    // record, not a valid one.
+    EXPECT_THROW(parsePerfRecord(R"({"schema": "youtiao-perf-2",
+        "benchmark": "x", "phases": {}, "counters": {}} trailing)"),
+                 ConfigError);
+}
+
+TEST(PerfRecord, LoadReportsPathOnBadFiles)
+{
+    try {
+        loadPerfRecord("/nonexistent/BENCH_missing.json");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("BENCH_missing.json"),
+                  std::string::npos);
+    }
+}
+
+TEST(PerfRecord, ComparisonRejectsBadBudgets)
+{
+    const PerfRecord base = makeRecord(1.0, 1.0);
+    EXPECT_THROW(comparePerfRecords(base, base, -0.1, 0.01), ConfigError);
+    EXPECT_THROW(comparePerfRecords(base, base, 0.25, -1.0), ConfigError);
+}
+
+} // namespace
+} // namespace youtiao

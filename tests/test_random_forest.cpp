@@ -87,6 +87,59 @@ TEST(RandomForest, ErrorsOnBadConfig)
     EXPECT_THROW(forest.predict({&probe, 1}), ConfigError);
 }
 
+TEST(RandomForest, PredictBatchMatchesPerRowPredictExactly)
+{
+    // Property test: the batched path walks the same flattened nodes with
+    // the same divide, so every row must match predict() bit-for-bit --
+    // EXPECT_EQ on doubles is intentional.
+    constexpr std::size_t kFeatures = 3;
+    constexpr std::size_t kRows = 257; // not a multiple of any chunk size
+    std::vector<double> x, y;
+    Prng noise(21);
+    for (std::size_t i = 0; i < 300; ++i) {
+        const double a = noise.uniform(0.0, 4.0);
+        const double b = noise.uniform(-1.0, 1.0);
+        const double c = noise.uniform(0.0, 10.0);
+        x.insert(x.end(), {a, b, c});
+        y.push_back(a * a - 2.0 * b + 0.3 * c + noise.gaussian(0.0, 0.1));
+    }
+    RandomForest forest;
+    Prng prng(22);
+    forest.fit(x, kFeatures, y, prng);
+
+    std::vector<double> rows;
+    Prng probe(23);
+    for (std::size_t r = 0; r < kRows * kFeatures; ++r)
+        rows.push_back(probe.uniform(-2.0, 12.0));
+    std::vector<double> batched(kRows);
+    forest.predictBatch(rows, kFeatures, batched);
+    for (std::size_t r = 0; r < kRows; ++r) {
+        const std::span<const double> row(&rows[r * kFeatures], kFeatures);
+        EXPECT_EQ(batched[r], forest.predict(row)) << "row " << r;
+    }
+}
+
+TEST(RandomForest, PredictBatchRejectsBadShapes)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back(i * 0.1);
+        y.push_back(i * 0.2);
+    }
+    RandomForest forest;
+    Prng prng(24);
+    forest.fit(x, 1, y, prng);
+
+    std::vector<double> out(3);
+    const std::vector<double> rows{0.1, 0.2, 0.3};
+    EXPECT_THROW(forest.predictBatch(rows, 0, out), ConfigError);
+    EXPECT_THROW(forest.predictBatch(rows, 2, out), ConfigError);
+    std::vector<double> wrong(2);
+    EXPECT_THROW(forest.predictBatch(rows, 1, wrong), ConfigError);
+    RandomForest untrained;
+    EXPECT_THROW(untrained.predictBatch(rows, 1, out), ConfigError);
+}
+
 TEST(RandomForest, SmootherThanSingleTreeOnNoisyData)
 {
     // Forest variance on noisy data should not exceed a single tree's by

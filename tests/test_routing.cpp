@@ -75,6 +75,56 @@ TEST(AstarRouter, StraightLineRoute)
     EXPECT_EQ(path->newCells, b.x - a.x + 1);
 }
 
+TEST(AstarRouter, SharedArenaMatchesFreshBuffersExactly)
+{
+    // Property test: one SearchArena reused across many sequential
+    // searches must reproduce the fresh-buffer overload exactly --
+    // same paths, same costs, same claimed cells -- because stale
+    // entries from earlier generations read back as "unvisited".
+    auto make_grid = [] {
+        RoutingGrid grid(Point{0, 0}, Point{8, 8});
+        grid.blockSquare(Point{3, 3}, 0.8);
+        grid.blockSquare(Point{5.5, 2}, 0.6);
+        grid.blockSquare(Point{2, 6}, 1.0);
+        return grid;
+    };
+    RoutingGrid fresh_grid = make_grid();
+    RoutingGrid arena_grid = make_grid();
+    SearchArena arena;
+
+    const std::vector<std::pair<Point, Point>> nets = {
+        {{0.5, 0.5}, {7.5, 7.5}}, {{0.5, 7.5}, {7.5, 0.5}},
+        {{1.0, 4.0}, {7.0, 4.0}}, {{4.0, 0.5}, {4.0, 7.5}},
+        {{0.5, 2.0}, {7.5, 6.0}}, {{6.5, 7.0}, {1.5, 1.0}},
+    };
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        const auto net_id = static_cast<std::int32_t>(i + 1);
+        const Cell from = fresh_grid.cellAt(nets[i].first);
+        const Cell to = fresh_grid.cellAt(nets[i].second);
+        const auto fresh = routeAstar(fresh_grid, from, to, net_id);
+        const auto reused = routeAstar(arena_grid, from, to, net_id, arena);
+        ASSERT_EQ(fresh.has_value(), reused.has_value()) << "net " << i;
+        if (!fresh)
+            continue;
+        EXPECT_EQ(fresh->cells, reused->cells) << "net " << i;
+        EXPECT_EQ(fresh->newCells, reused->newCells) << "net " << i;
+        ASSERT_EQ(fresh->crossovers.size(), reused->crossovers.size());
+        for (std::size_t k = 0; k < fresh->crossovers.size(); ++k) {
+            EXPECT_EQ(fresh->crossovers[k].cell, reused->crossovers[k].cell);
+            EXPECT_EQ(fresh->crossovers[k].byNet,
+                      reused->crossovers[k].byNet);
+            EXPECT_EQ(fresh->crossovers[k].overNet,
+                      reused->crossovers[k].overNet);
+        }
+    }
+    for (std::size_t y = 0; y < fresh_grid.height(); ++y)
+        for (std::size_t x = 0; x < fresh_grid.width(); ++x) {
+            const Cell c{x, y};
+            ASSERT_EQ(fresh_grid.owner(c), arena_grid.owner(c))
+                << "cell (" << x << ", " << y << ")";
+        }
+}
+
 TEST(AstarRouter, RoutesAroundObstacle)
 {
     RoutingGrid grid(Point{0, 0}, Point{5, 5});

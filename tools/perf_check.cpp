@@ -1,0 +1,117 @@
+/**
+ * @file
+ * perf_check -- fail CI when a tracked phase regresses against a
+ * committed baseline perf record.
+ *
+ *   perf_check --baseline FILE --current FILE
+ *              [--max-regression R] [--min-seconds S]
+ *
+ * Both files are `BENCH_<name>.json` records (docs/FILE_FORMATS.md).
+ * Every baseline phase with at least S seconds of wall time (default
+ * 0.01 -- faster phases are timing noise) is compared; the check fails
+ * when any current phase exceeds baseline * (1 + R) (default R = 0.25).
+ * Baseline phases the current run never recorded are reported as
+ * warnings but do not fail the check (a renamed phase should update the
+ * baseline, not break every PR).
+ *
+ * Exit codes: 0 within budget, 1 regression found, 2 usage / bad input.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/cli_parse.hpp"
+#include "common/error.hpp"
+#include "common/perf_record.hpp"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --baseline FILE --current FILE\n"
+                 "          [--max-regression R] [--min-seconds S]\n"
+                 "  R: allowed slowdown fraction (default 0.25 = +25%%)\n"
+                 "  S: ignore phases faster than S seconds in the "
+                 "baseline (default 0.01)\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace youtiao;
+
+    std::string baseline_path;
+    std::string current_path;
+    double max_regression = 0.25;
+    double min_seconds = 0.01;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    usage(argv[0]);
+                return argv[++i];
+            };
+            if (arg == "--baseline")
+                baseline_path = next();
+            else if (arg == "--current")
+                current_path = next();
+            else if (arg == "--max-regression")
+                max_regression =
+                    parsePositiveDoubleArg(next(), "--max-regression");
+            else if (arg == "--min-seconds")
+                min_seconds =
+                    parsePositiveDoubleArg(next(), "--min-seconds");
+            else
+                usage(argv[0]);
+        }
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+    if (baseline_path.empty() || current_path.empty())
+        usage(argv[0]);
+
+    try {
+        const PerfRecord baseline = loadPerfRecord(baseline_path);
+        const PerfRecord current = loadPerfRecord(current_path);
+        if (baseline.benchmark != current.benchmark)
+            std::fprintf(stderr,
+                         "warning: comparing different benchmarks "
+                         "('%s' vs '%s')\n",
+                         baseline.benchmark.c_str(),
+                         current.benchmark.c_str());
+
+        const PerfComparison cmp = comparePerfRecords(
+            baseline, current, max_regression, min_seconds);
+        for (const std::string &name : cmp.missingPhases)
+            std::fprintf(stderr,
+                         "warning: phase '%s' in baseline but not in "
+                         "current run\n",
+                         name.c_str());
+        std::printf("perf_check %s: %zu phase(s) compared "
+                    "(budget +%.0f%%, floor %gs)\n",
+                    current.benchmark.c_str(), cmp.comparedPhases,
+                    max_regression * 100.0, min_seconds);
+        if (cmp.regressions.empty()) {
+            std::printf("perf_check OK\n");
+            return 0;
+        }
+        for (const auto &r : cmp.regressions)
+            std::printf("REGRESSION %-40s %.4fs -> %.4fs (%.0f%%)\n",
+                        r.phase.c_str(), r.baselineSeconds,
+                        r.currentSeconds, (r.ratio - 1.0) * 100.0);
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -4,21 +4,28 @@
  *
  *   youtiao_cli [--topology NAME] [--rows N] [--cols N] [--seed S]
  *               [--capacity K] [--theta T] [--compare] [--profile]
+ *               [--repeat N]
  *
  * Topologies: square, hexagon, heavy-square, heavy-hexagon, low-density,
  * grid (with --rows/--cols). Prints the full wiring report; --compare
  * adds the dedicated-wiring baseline bill; --profile appends the
  * per-phase wall-clock table and counters of the design pipeline.
+ * --repeat N (with --profile) re-runs the design pipeline N times after
+ * one discarded warmup run and reports the per-phase median, so profile
+ * numbers are stable enough to compare across builds.
  *
  * Exit codes: 0 success, 1 runtime failure, 2 usage / bad argument.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <string>
-
 #include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "chip/chip_io.hpp"
 #include "chip/topology_builder.hpp"
@@ -43,13 +50,45 @@ usage(const char *argv0)
         "low-density|grid]\n"
         "          [--rows N] [--cols N] [--seed S] [--capacity K] "
         "[--theta T] [--compare]\n"
-        "          [--save FILE] [--chip FILE] [--profile]\n"
+        "          [--save FILE] [--chip FILE] [--profile] "
+        "[--repeat N]\n"
         "  --rows/--cols/--capacity take integers >= 1, --theta a "
         "positive number;\n"
         "  --profile appends the per-phase wall-clock table to the "
-        "report\n",
+        "report;\n"
+        "  --repeat N (requires --profile) re-runs the design N times "
+        "after a\n"
+        "  discarded warmup and reports the per-phase median\n",
         argv0);
     std::exit(2);
+}
+
+/** Element-wise median of per-run phase snapshots (seconds and calls). */
+std::map<std::string, metrics::PhaseStats>
+medianPhases(std::vector<std::map<std::string, metrics::PhaseStats>> &runs)
+{
+    std::map<std::string, std::vector<double>> seconds;
+    std::map<std::string, std::vector<std::uint64_t>> calls;
+    for (const auto &run : runs) {
+        for (const auto &[name, stats] : run) {
+            seconds[name].push_back(stats.seconds);
+            calls[name].push_back(stats.calls);
+        }
+    }
+    std::map<std::string, metrics::PhaseStats> out;
+    for (auto &[name, values] : seconds) {
+        std::sort(values.begin(), values.end());
+        auto &counts = calls[name];
+        std::sort(counts.begin(), counts.end());
+        metrics::PhaseStats stats;
+        const std::size_t mid = values.size() / 2;
+        stats.seconds = values.size() % 2 == 1
+                            ? values[mid]
+                            : 0.5 * (values[mid - 1] + values[mid]);
+        stats.calls = counts[counts.size() / 2];
+        out[name] = stats;
+    }
+    return out;
 }
 
 } // namespace
@@ -64,6 +103,7 @@ main(int argc, char **argv)
     double theta = 4.0;
     bool compare = false;
     bool profile = false;
+    std::size_t repeat = 1;
     std::string save_path;
     std::string chip_path;
 
@@ -91,6 +131,8 @@ main(int argc, char **argv)
                 compare = true;
             else if (arg == "--profile")
                 profile = true;
+            else if (arg == "--repeat")
+                repeat = parseSizeArg(next(), "--repeat", 1, 10000);
             else if (arg == "--save")
                 save_path = next();
             else if (arg == "--chip")
@@ -100,6 +142,10 @@ main(int argc, char **argv)
         }
     } catch (const ConfigError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+    if (repeat > 1 && !profile) {
+        std::fprintf(stderr, "error: --repeat requires --profile\n");
         return 2;
     }
 
@@ -141,7 +187,31 @@ main(int argc, char **argv)
         config.tdm.parallelismThreshold = theta;
         config.fit.forest.treeCount = 25;
         const YoutiaoDesigner designer(config);
-        const YoutiaoDesign design = designer.design(chip, data);
+        std::map<std::string, metrics::PhaseStats> profile_phases;
+        std::map<std::string, std::uint64_t> profile_counters;
+        std::optional<YoutiaoDesign> maybe_design;
+        if (repeat > 1) {
+            // Warmup run (discarded), then N measured runs: per-run
+            // registry snapshots, median per phase. The design is
+            // deterministic, so every run yields the same output and
+            // keeping the last is keeping any.
+            metrics::Registry::global().reset();
+            (void)designer.design(chip, data);
+            std::vector<std::map<std::string, metrics::PhaseStats>> runs;
+            runs.reserve(repeat);
+            for (std::size_t r = 0; r < repeat; ++r) {
+                metrics::Registry::global().reset();
+                maybe_design = designer.design(chip, data);
+                runs.push_back(metrics::Registry::global().phases());
+                if (r == 0)
+                    profile_counters =
+                        metrics::Registry::global().counters();
+            }
+            profile_phases = medianPhases(runs);
+        } else {
+            maybe_design = designer.design(chip, data);
+        }
+        const YoutiaoDesign &design = *maybe_design;
 
         std::fputs(wiringReport(chip, design, config).c_str(), stdout);
         if (!save_path.empty()) {
@@ -160,8 +230,19 @@ main(int argc, char **argv)
                         costComparison(design, google, "dedicated")
                             .c_str());
         }
-        if (profile)
-            std::fputs(metrics::phaseTable().c_str(), stdout);
+        if (profile) {
+            if (repeat > 1) {
+                std::printf("\n(median of %zu measured runs, 1 warmup "
+                            "discarded)\n",
+                            repeat);
+                std::fputs(metrics::phaseTable(profile_phases,
+                                               profile_counters)
+                               .c_str(),
+                           stdout);
+            } else {
+                std::fputs(metrics::phaseTable().c_str(), stdout);
+            }
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
