@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "chip/topology.hpp"
+#include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "core/config.hpp"
 #include "core/youtiao.hpp"
 #include "noise/crosstalk_data.hpp"
@@ -26,10 +28,12 @@ namespace youtiao::bench {
 /**
  * Machine-readable perf record for one bench binary. Construct at the
  * top of main() (resets the metrics registry so the record covers only
- * this run); the destructor writes the merged phase timers and counters
- * to `BENCH_<name>.json` (schema "youtiao-perf-2", see
+ * this run); the destructor writes the merged phase timers, counters,
+ * and histograms to `BENCH_<name>.json` (schema "youtiao-perf-3", see
  * docs/FILE_FORMATS.md) in the current directory, or under
- * `$YOUTIAO_PERF_DIR` when set. Every subsequent optimization PR is
+ * `$YOUTIAO_PERF_DIR` when set. When `$YOUTIAO_TRACE_DIR` is set the
+ * run is also traced and the span timeline lands in
+ * `TRACE_<name>.json` there. Every subsequent optimization PR is
  * judged against these records.
  */
 class PerfReport
@@ -39,21 +43,35 @@ class PerfReport
         : name_(std::move(name))
     {
         metrics::Registry::global().reset();
+        const char *trace_dir = std::getenv("YOUTIAO_TRACE_DIR");
+        if (trace_dir != nullptr && *trace_dir != '\0') {
+            tracePath_ =
+                std::string(trace_dir) + "/TRACE_" + name_ + ".json";
+            trace::Tracer::global().enable();
+        }
     }
 
     ~PerfReport()
     {
+        if (!tracePath_.empty()) {
+            trace::Tracer::global().disable();
+            if (trace::Tracer::global().writeJson(tracePath_))
+                log::info("trace written", {{"path", tracePath_}});
+            else
+                log::warn("cannot write trace", {{"path", tracePath_}});
+        }
         const char *dir = std::getenv("YOUTIAO_PERF_DIR");
         std::string path =
             dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : "";
         path += "BENCH_" + name_ + ".json";
         std::ofstream out(path);
         if (!out) {
-            std::fprintf(stderr, "warning: cannot write perf record %s\n",
-                         path.c_str());
+            log::warn("cannot write perf record", {{"path", path}});
             return;
         }
         out << metrics::jsonReport(name_);
+        log::info("perf record written", {{"path", path}});
+        // Keep the human-readable breadcrumb the bench scripts grep for.
         std::fprintf(stderr, "perf record written to %s\n", path.c_str());
     }
 
@@ -62,6 +80,7 @@ class PerfReport
 
   private:
     std::string name_;
+    std::string tracePath_;
 };
 
 /**

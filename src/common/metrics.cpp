@@ -1,8 +1,11 @@
 #include "common/metrics.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
@@ -11,6 +14,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "common/json.hpp"
 #include "common/parallel.hpp"
 
 namespace youtiao::metrics {
@@ -22,7 +26,92 @@ struct Registry::Shard
     std::mutex mutex;
     std::unordered_map<std::string, PhaseStats> phases;
     std::unordered_map<std::string, std::uint64_t> counters;
+    std::unordered_map<std::string, HistogramStats> histograms;
 };
+
+std::size_t
+HistogramStats::bucketIndex(double value)
+{
+    if (!(value > 0.0))
+        return 0; // negatives, zero and NaN land in the catch-all
+    const int exp = std::ilogb(value); // floor(log2(value))
+    const long idx = static_cast<long>(exp) + 31;
+    if (idx < 0)
+        return 0;
+    if (idx >= static_cast<long>(kHistogramBuckets))
+        return kHistogramBuckets - 1;
+    return static_cast<std::size_t>(idx);
+}
+
+double
+HistogramStats::bucketLowerBound(std::size_t index)
+{
+    if (index == 0)
+        return 0.0;
+    return std::ldexp(1.0, static_cast<int>(index) - 31);
+}
+
+double
+HistogramStats::bucketUpperBound(std::size_t index)
+{
+    return std::ldexp(1.0, static_cast<int>(index) - 30);
+}
+
+void
+HistogramStats::observe(double value)
+{
+    if (count == 0) {
+        min = value;
+        max = value;
+    } else {
+        min = std::min(min, value);
+        max = std::max(max, value);
+    }
+    ++count;
+    ++buckets[bucketIndex(value)];
+}
+
+void
+HistogramStats::merge(const HistogramStats &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+    } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+    count += other.count;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+        buckets[i] += other.buckets[i];
+}
+
+double
+HistogramStats::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested quantile (1-based); linear interpolation
+    // between a bucket's edges, then clamped to the exact [min, max].
+    const double target = std::max(1.0, q * static_cast<double>(count));
+    double before = 0.0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        if (buckets[i] == 0)
+            continue;
+        const auto in_bucket = static_cast<double>(buckets[i]);
+        if (before + in_bucket >= target) {
+            const double lo = bucketLowerBound(i);
+            const double hi = bucketUpperBound(i);
+            const double frac = (target - before) / in_bucket;
+            return std::clamp(lo + (hi - lo) * frac, min, max);
+        }
+        before += in_bucket;
+    }
+    return max;
+}
 
 namespace {
 
@@ -88,6 +177,14 @@ Registry::addCounter(std::string_view name, std::uint64_t delta)
     shard.counters[std::string(name)] += delta;
 }
 
+void
+Registry::addHistogram(std::string_view name, double value)
+{
+    Shard &shard = localShard();
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.histograms[std::string(name)].observe(value);
+}
+
 std::map<std::string, PhaseStats>
 Registry::phases() const
 {
@@ -117,6 +214,19 @@ Registry::counters() const
     return merged;
 }
 
+std::map<std::string, HistogramStats>
+Registry::histograms() const
+{
+    std::map<std::string, HistogramStats> merged;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        for (const auto &[name, stats] : shard->histograms)
+            merged[name].merge(stats);
+    }
+    return merged;
+}
+
 void
 Registry::reset()
 {
@@ -125,6 +235,7 @@ Registry::reset()
         const std::lock_guard<std::mutex> shard_lock(shard->mutex);
         shard->phases.clear();
         shard->counters.clear();
+        shard->histograms.clear();
     }
 }
 
@@ -145,12 +256,14 @@ std::string
 phaseTable()
 {
     return phaseTable(Registry::global().phases(),
-                      Registry::global().counters());
+                      Registry::global().counters(),
+                      Registry::global().histograms());
 }
 
 std::string
 phaseTable(const std::map<std::string, PhaseStats> &phases,
-           const std::map<std::string, std::uint64_t> &counters)
+           const std::map<std::string, std::uint64_t> &counters,
+           const std::map<std::string, HistogramStats> &histograms)
 {
     std::ostringstream out;
     char line[160];
@@ -175,64 +288,55 @@ phaseTable(const std::map<std::string, PhaseStats> &phases,
             out << line;
         }
     }
+    if (!histograms.empty()) {
+        out << "\n-- histograms --\n";
+        std::snprintf(line, sizeof line,
+                      "%-32s %9s %10s %10s %10s %10s\n", "histogram",
+                      "count", "p50", "p90", "p99", "max");
+        out << line;
+        for (const auto &[name, h] : histograms) {
+            std::snprintf(line, sizeof line,
+                          "%-32s %9llu %10.4g %10.4g %10.4g %10.4g\n",
+                          name.c_str(),
+                          static_cast<unsigned long long>(h.count),
+                          h.quantile(0.5), h.quantile(0.9),
+                          h.quantile(0.99), h.max);
+            out << line;
+        }
+    }
     return out.str();
 }
 
 namespace {
 
-/** Minimal JSON string escaping; names here are plain identifiers, but
- *  quoting mistakes must never corrupt the record. */
+/** Quoting mistakes must never corrupt the record; names here are
+ *  plain identifiers, but escape anyway. */
 std::string
 jsonEscape(const std::string &text)
 {
-    std::string out;
-    out.reserve(text.size());
-    for (char c : text) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
+    return json::escape(text);
 }
 
 /**
- * Peak resident set size of the process (bytes), or 0 where the platform
- * does not expose it. ru_maxrss is kilobytes on Linux, bytes on macOS.
+ * Peak resident set size of the process (bytes), or nullopt where the
+ * platform does not expose it / the call fails -- reported as JSON
+ * null so consumers can tell "not measured" from a measured zero.
+ * ru_maxrss is kilobytes on Linux, bytes on macOS.
  */
-std::uint64_t
+std::optional<std::uint64_t>
 peakRssBytes()
 {
 #if defined(__unix__) || defined(__APPLE__)
     struct rusage usage{};
     if (getrusage(RUSAGE_SELF, &usage) != 0)
-        return 0;
+        return std::nullopt;
 #if defined(__APPLE__)
     return static_cast<std::uint64_t>(usage.ru_maxrss);
 #else
     return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
 #endif
 #else
-    return 0;
+    return std::nullopt;
 #endif
 }
 
@@ -258,11 +362,13 @@ jsonReport(const std::string &benchmark)
 {
     const auto phases = Registry::global().phases();
     const auto counters = Registry::global().counters();
+    const auto histograms = Registry::global().histograms();
     std::ostringstream out;
     char buf[64];
     const char *threads_env = std::getenv("YOUTIAO_THREADS");
+    const std::optional<std::uint64_t> rss = peakRssBytes();
     out << "{\n";
-    out << "  \"schema\": \"youtiao-perf-2\",\n";
+    out << "  \"schema\": \"youtiao-perf-3\",\n";
     out << "  \"benchmark\": \"" << jsonEscape(benchmark) << "\",\n";
     out << "  \"config\": {\n";
     out << "    \"threads\": " << configuredThreadCount() << ",\n";
@@ -272,8 +378,12 @@ jsonReport(const std::string &benchmark)
     else
         out << "    \"youtiao_threads_env\": null,\n";
     out << "    \"build_type\": \"" << jsonEscape(buildType()) << "\",\n";
-    out << "    \"peak_rss_bytes\": " << peakRssBytes() << "\n";
-    out << "  },\n";
+    out << "    \"peak_rss_bytes\": ";
+    if (rss.has_value())
+        out << *rss;
+    else
+        out << "null";
+    out << "\n  },\n";
     out << "  \"phases\": {";
     bool first = true;
     for (const auto &[name, stats] : phases) {
@@ -290,6 +400,36 @@ jsonReport(const std::string &benchmark)
         out << (first ? "\n" : ",\n");
         first = false;
         out << "    \"" << jsonEscape(name) << "\": " << value;
+    }
+    out << (first ? "},\n" : "\n  },\n");
+    out << "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        if (h.count == 0)
+            continue;
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    \"" << jsonEscape(name) << "\": {";
+        out << "\"count\": " << h.count;
+        const std::pair<const char *, double> doubles[] = {
+            {"min", h.min},           {"max", h.max},
+            {"p50", h.quantile(0.5)}, {"p90", h.quantile(0.9)},
+            {"p99", h.quantile(0.99)},
+        };
+        for (const auto &[key, value] : doubles) {
+            std::snprintf(buf, sizeof buf, "%.9g", value);
+            out << ", \"" << key << "\": " << buf;
+        }
+        out << ", \"buckets\": {";
+        bool first_bucket = true;
+        for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+            if (h.buckets[i] == 0)
+                continue;
+            out << (first_bucket ? "" : ", ");
+            first_bucket = false;
+            out << "\"" << i << "\": " << h.buckets[i];
+        }
+        out << "}}";
     }
     out << (first ? "}\n" : "\n  }\n");
     out << "}\n";

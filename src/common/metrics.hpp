@@ -21,6 +21,7 @@
 #ifndef YOUTIAO_COMMON_METRICS_HPP
 #define YOUTIAO_COMMON_METRICS_HPP
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -37,6 +38,41 @@ struct PhaseStats
 {
     double seconds = 0.0;
     std::uint64_t calls = 0;
+};
+
+/** Log2 bucket count of HistogramStats: bucket i covers
+ *  [2^(i-31), 2^(i-30)), i.e. ~5e-10 up to ~8.6e9, with bucket 0 as
+ *  the catch-all for values <= 2^-31 (including zero). */
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/**
+ * Log-bucketed distribution of a non-negative value (per-net route
+ * seconds, cells expanded per A* search, ...). Holds only integer
+ * bucket counts plus exact min/max, so merging shards is commutative
+ * and associative -- the merged view is bit-identical no matter the
+ * shard order, preserving the registry's determinism contract.
+ * Quantiles are derived on demand by linear interpolation within the
+ * containing bucket and clamped to [min, max].
+ */
+struct HistogramStats
+{
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+    /** Bucket of @p value (negatives and zero land in bucket 0). */
+    static std::size_t bucketIndex(double value);
+    /** Lower edge of bucket @p index (0 for the catch-all bucket). */
+    static double bucketLowerBound(std::size_t index);
+    /** Upper edge of bucket @p index. */
+    static double bucketUpperBound(std::size_t index);
+
+    void observe(double value);
+    void merge(const HistogramStats &other);
+
+    /** Interpolated quantile, @p q in [0, 1]; 0 when empty. */
+    double quantile(double q) const;
 };
 
 /**
@@ -63,11 +99,18 @@ class Registry
     /** Add @p delta events to counter @p name. */
     void addCounter(std::string_view name, std::uint64_t delta);
 
+    /** Record one sample of @p value into histogram @p name. */
+    void addHistogram(std::string_view name, double value);
+
     /** Serially merged per-phase totals, sorted by name. */
     std::map<std::string, PhaseStats> phases() const;
 
     /** Serially merged counter totals, sorted by name. */
     std::map<std::string, std::uint64_t> counters() const;
+
+    /** Serially merged histograms, sorted by name. Merge order cannot
+     *  affect the result (integer buckets, commutative min/max). */
+    std::map<std::string, HistogramStats> histograms() const;
 
     /** Clear every shard. Concurrent writers land in the new epoch. */
     void reset();
@@ -111,9 +154,16 @@ count(std::string_view name, std::uint64_t delta = 1)
     Registry::global().addCounter(name, delta);
 }
 
+/** Record one sample into the global registry's histogram @p name. */
+inline void
+observe(std::string_view name, double value)
+{
+    Registry::global().addHistogram(name, value);
+}
+
 /**
- * Human-readable phase/counter table of the global registry, as shown
- * by `youtiao_cli --profile`.
+ * Human-readable phase/counter/histogram table of the global registry,
+ * as shown by `youtiao_cli --profile`.
  */
 std::string phaseTable();
 
@@ -122,14 +172,18 @@ std::string phaseTable();
  * views (e.g. the median-of-N table of `--profile --repeat N`) without
  * loading them into a registry.
  */
-std::string phaseTable(const std::map<std::string, PhaseStats> &phases,
-                       const std::map<std::string, std::uint64_t> &counters);
+std::string phaseTable(
+    const std::map<std::string, PhaseStats> &phases,
+    const std::map<std::string, std::uint64_t> &counters,
+    const std::map<std::string, HistogramStats> &histograms = {});
 
 /**
  * Machine-readable perf record of the global registry (schema
- * "youtiao-perf-2", see docs/FILE_FORMATS.md): benchmark name, config
- * (resolved thread count, raw YOUTIAO_THREADS, build type, peak RSS),
- * per-phase wall times and call counts, counters.
+ * "youtiao-perf-3", see docs/FILE_FORMATS.md): benchmark name, config
+ * (resolved thread count, raw YOUTIAO_THREADS, build type, peak RSS or
+ * null where the platform cannot report it), per-phase wall times and
+ * call counts, counters, and per-histogram bucket counts with derived
+ * p50/p90/p99.
  */
 std::string jsonReport(const std::string &benchmark);
 

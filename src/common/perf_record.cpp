@@ -1,309 +1,92 @@
 #include "common/perf_record.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace youtiao {
 
 namespace {
 
-/**
- * Minimal recursive-descent JSON reader over the perf-record subset.
- * Values are exposed through typed getters that throw ConfigError on
- * shape mismatches, so perf_check reports a named failure instead of
- * crashing on a truncated or hand-edited record.
- */
-class JsonValue
+std::uint64_t
+asCount(const json::Value &value, const std::string &what)
 {
-  public:
-    enum class Kind { Null, Boolean, Number, String, Object, Array };
+    const double n = value.asNumber(what);
+    requireConfig(n >= 0.0, "perf record: " + what + " is negative");
+    return static_cast<std::uint64_t>(n);
+}
 
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;
-    std::map<std::string, JsonValue> object;
-    std::vector<JsonValue> array;
-
-    const JsonValue &field(const std::string &name) const
-    {
-        requireConfig(kind == Kind::Object,
-                      "perf record: '" + name + "' looked up on a "
-                      "non-object value");
-        const auto it = object.find(name);
-        requireConfig(it != object.end(),
-                      "perf record: missing field '" + name + "'");
-        return it->second;
-    }
-
-    const std::string &asString(const std::string &what) const
-    {
-        requireConfig(kind == Kind::String,
-                      "perf record: " + what + " is not a string");
-        return text;
-    }
-
-    double asNumber(const std::string &what) const
-    {
-        requireConfig(kind == Kind::Number,
-                      "perf record: " + what + " is not a number");
-        return number;
-    }
-};
-
-class JsonParser
+HistogramRecord
+parseHistogram(const std::string &name, const json::Value &entry)
 {
-  public:
-    explicit JsonParser(const std::string &text)
-        : text_(text)
-    {}
-
-    JsonValue parse()
-    {
-        JsonValue value = parseValue();
-        skipSpace();
-        requireConfig(at_ == text_.size(),
-                      "perf record: trailing characters after JSON value");
-        return value;
-    }
-
-  private:
-    void skipSpace()
-    {
-        while (at_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[at_])) != 0)
-            ++at_;
-    }
-
-    char peek()
-    {
-        skipSpace();
-        requireConfig(at_ < text_.size(),
-                      "perf record: unexpected end of JSON");
-        return text_[at_];
-    }
-
-    void expect(char c)
-    {
-        requireConfig(peek() == c, std::string("perf record: expected '") +
-                                       c + "' at offset " +
-                                       std::to_string(at_));
-        ++at_;
-    }
-
-    bool consume(char c)
-    {
-        if (at_ < text_.size() && peek() == c) {
-            ++at_;
-            return true;
-        }
-        return false;
-    }
-
-    bool consumeWord(const char *word)
-    {
-        const std::size_t len = std::char_traits<char>::length(word);
-        if (text_.compare(at_, len, word) == 0) {
-            at_ += len;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue parseValue()
-    {
-        const char c = peek();
-        JsonValue value;
-        switch (c) {
-          case '{':
-            return parseObject();
-          case '[':
-            return parseArray();
-          case '"':
-            value.kind = JsonValue::Kind::String;
-            value.text = parseString();
-            return value;
-          case 't':
-          case 'f':
-            value.kind = JsonValue::Kind::Boolean;
-            if (consumeWord("true")) {
-                value.boolean = true;
-                return value;
-            }
-            if (consumeWord("false"))
-                return value;
-            break;
-          case 'n':
-            if (consumeWord("null"))
-                return value;
-            break;
-          default:
-            return parseNumber();
-        }
-        requireConfig(false, "perf record: malformed JSON value at offset " +
-                                 std::to_string(at_));
-        return value; // unreachable
-    }
-
-    JsonValue parseObject()
-    {
-        JsonValue value;
-        value.kind = JsonValue::Kind::Object;
-        expect('{');
-        if (consume('}'))
-            return value;
-        while (true) {
-            requireConfig(peek() == '"',
-                          "perf record: object key must be a string");
-            const std::string key = parseString();
-            expect(':');
-            value.object[key] = parseValue();
-            if (consume(','))
-                continue;
-            expect('}');
-            return value;
-        }
-    }
-
-    JsonValue parseArray()
-    {
-        JsonValue value;
-        value.kind = JsonValue::Kind::Array;
-        expect('[');
-        if (consume(']'))
-            return value;
-        while (true) {
-            value.array.push_back(parseValue());
-            if (consume(','))
-                continue;
-            expect(']');
-            return value;
-        }
-    }
-
-    std::string parseString()
-    {
-        expect('"');
-        std::string out;
-        while (true) {
-            requireConfig(at_ < text_.size(),
-                          "perf record: unterminated string");
-            const char c = text_[at_++];
-            if (c == '"')
-                return out;
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            requireConfig(at_ < text_.size(),
-                          "perf record: unterminated escape");
-            const char esc = text_[at_++];
-            switch (esc) {
-              case '"':
-              case '\\':
-              case '/':
-                out += esc;
-                break;
-              case 'n':
-                out += '\n';
-                break;
-              case 't':
-                out += '\t';
-                break;
-              case 'r':
-                out += '\r';
-                break;
-              case 'b':
-                out += '\b';
-                break;
-              case 'f':
-                out += '\f';
-                break;
-              case 'u': {
-                requireConfig(at_ + 4 <= text_.size(),
-                              "perf record: truncated \\u escape");
-                unsigned code = 0;
-                for (int k = 0; k < 4; ++k) {
-                    const char h = text_[at_++];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        requireConfig(false, "perf record: bad \\u digit");
-                }
-                // Report names are ASCII; anything else round-trips as
-                // a replacement byte rather than full UTF-16 handling.
-                out += code < 0x80 ? static_cast<char>(code) : '?';
-                break;
-              }
-              default:
-                requireConfig(false, "perf record: unknown escape");
-            }
-        }
-    }
-
-    JsonValue parseNumber()
-    {
-        skipSpace();
-        const std::size_t start = at_;
-        while (at_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[at_])) != 0 ||
-                text_[at_] == '-' || text_[at_] == '+' ||
-                text_[at_] == '.' || text_[at_] == 'e' ||
-                text_[at_] == 'E'))
-            ++at_;
-        requireConfig(at_ > start, "perf record: malformed number at offset " +
-                                       std::to_string(start));
-        const std::string token = text_.substr(start, at_ - start);
+    HistogramRecord h;
+    const std::string what = "histogram '" + name + "'";
+    h.count = asCount(entry.field("count"), what + " count");
+    h.min = entry.field("min").asNumber(what + " min");
+    h.max = entry.field("max").asNumber(what + " max");
+    h.p50 = entry.field("p50").asNumber(what + " p50");
+    h.p90 = entry.field("p90").asNumber(what + " p90");
+    h.p99 = entry.field("p99").asNumber(what + " p99");
+    for (const auto &[key, value] :
+         entry.field("buckets").asObject(what + " buckets")) {
         char *end = nullptr;
-        const double v = std::strtod(token.c_str(), &end);
-        requireConfig(end != nullptr && *end == '\0' && std::isfinite(v),
-                      "perf record: malformed number '" + token + "'");
-        JsonValue value;
-        value.kind = JsonValue::Kind::Number;
-        value.number = v;
-        return value;
+        const long index = std::strtol(key.c_str(), &end, 10);
+        requireConfig(end != nullptr && *end == '\0' && index >= 0 &&
+                          index < static_cast<long>(
+                                      metrics::kHistogramBuckets),
+                      "perf record: " + what + " has bad bucket key '" +
+                          key + "'");
+        h.buckets[static_cast<int>(index)] =
+            asCount(value, what + " bucket " + key);
     }
-
-    const std::string &text_;
-    std::size_t at_ = 0;
-};
+    return h;
+}
 
 } // namespace
 
 PerfRecord
-parsePerfRecord(const std::string &json)
+parsePerfRecord(const std::string &text)
 {
-    const JsonValue root = JsonParser(json).parse();
+    const json::Value root = json::parse(text, "perf record");
     PerfRecord record;
-    record.schema = root.field("schema").asString("schema");
+    record.schema = root.field("schema").asString("perf record: schema");
     requireConfig(record.schema == "youtiao-perf-1" ||
-                      record.schema == "youtiao-perf-2",
+                      record.schema == "youtiao-perf-2" ||
+                      record.schema == "youtiao-perf-3",
                   "perf record: unknown schema '" + record.schema + "'");
-    record.benchmark = root.field("benchmark").asString("benchmark");
-    for (const auto &[name, entry] : root.field("phases").object) {
+    record.benchmark =
+        root.field("benchmark").asString("perf record: benchmark");
+    for (const auto &[name, entry] :
+         root.field("phases").asObject("perf record: phases")) {
         metrics::PhaseStats stats;
-        stats.seconds =
-            entry.field("seconds").asNumber("phase '" + name + "' seconds");
+        stats.seconds = entry.field("seconds").asNumber(
+            "perf record: phase '" + name + "' seconds");
         requireConfig(stats.seconds >= 0.0,
-                      "perf record: phase '" + name + "' has negative time");
-        stats.calls = static_cast<std::uint64_t>(
-            entry.field("calls").asNumber("phase '" + name + "' calls"));
+                      "perf record: phase '" + name +
+                          "' has negative time");
+        stats.calls = asCount(entry.field("calls"),
+                              "phase '" + name + "' calls");
         record.phases[name] = stats;
     }
-    for (const auto &[name, entry] : root.field("counters").object)
-        record.counters[name] = static_cast<std::uint64_t>(
-            entry.asNumber("counter '" + name + "'"));
+    for (const auto &[name, entry] :
+         root.field("counters").asObject("perf record: counters"))
+        record.counters[name] = asCount(entry, "counter '" + name + "'");
+    if (const json::Value *histograms = root.fieldIf("histograms")) {
+        for (const auto &[name, entry] :
+             histograms->asObject("perf record: histograms"))
+            record.histograms[name] = parseHistogram(name, entry);
+    }
+    if (const json::Value *config = root.fieldIf("config")) {
+        if (const json::Value *rss = config->fieldIf("peak_rss_bytes")) {
+            if (!rss->isNull())
+                record.peakRssBytes =
+                    asCount(*rss, "config peak_rss_bytes");
+        }
+    }
     return record;
 }
 
@@ -343,10 +126,17 @@ comparePerfRecords(const PerfRecord &baseline, const PerfRecord &current,
         if (ratio > 1.0 + max_regression)
             out.regressions.push_back(
                 PhaseDelta{name, base.seconds, it->second.seconds, ratio});
+        else if (ratio < 1.0 - max_regression)
+            out.improvements.push_back(
+                PhaseDelta{name, base.seconds, it->second.seconds, ratio});
     }
     std::sort(out.regressions.begin(), out.regressions.end(),
               [](const PhaseDelta &a, const PhaseDelta &b) {
                   return a.ratio > b.ratio;
+              });
+    std::sort(out.improvements.begin(), out.improvements.end(),
+              [](const PhaseDelta &a, const PhaseDelta &b) {
+                  return a.ratio < b.ratio;
               });
     return out;
 }

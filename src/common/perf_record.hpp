@@ -5,9 +5,10 @@
  * The counterpart to metrics::jsonReport: loads a record written by a
  * bench run back into structured form and compares two records for
  * wall-clock regressions, so CI can fail a PR whose tracked phases got
- * slower than a committed baseline (tools/perf_check.cpp). No external
- * JSON dependency: the parser covers the subset of JSON the reports use
- * (objects, strings, numbers, null) plus arrays for completeness.
+ * slower than a committed baseline (tools/perf_check.cpp). Notable
+ * improvements are reported too, prompting a baseline refresh instead
+ * of letting `bench/baselines/` go silently stale. JSON parsing is the
+ * shared common/json.hpp reader.
  */
 
 #ifndef YOUTIAO_COMMON_PERF_RECORD_HPP
@@ -15,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,13 +24,33 @@
 
 namespace youtiao {
 
-/** One parsed `BENCH_<name>.json` record (schema youtiao-perf-1 or -2). */
+/** One histogram entry of a perf-3 record. Quantiles are the writer's
+ *  derived values; `buckets` maps log2 bucket index -> sample count
+ *  (see metrics::HistogramStats). */
+struct HistogramRecord
+{
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    std::map<int, std::uint64_t> buckets;
+};
+
+/** One parsed `BENCH_<name>.json` record (schema youtiao-perf-1/2/3). */
 struct PerfRecord
 {
     std::string schema;
     std::string benchmark;
     std::map<std::string, metrics::PhaseStats> phases;
     std::map<std::string, std::uint64_t> counters;
+    /** Present for perf-3 records; empty for older schemas. */
+    std::map<std::string, HistogramRecord> histograms;
+    /** Peak RSS from the config block; nullopt when the record carries
+     *  JSON null (platform could not measure) or predates the field.
+     *  Null means "not comparable", never a measured zero. */
+    std::optional<std::uint64_t> peakRssBytes;
 };
 
 /**
@@ -55,6 +77,10 @@ struct PerfComparison
 {
     /** Phases slower than the allowed ratio, worst first. */
     std::vector<PhaseDelta> regressions;
+    /** Phases faster than the mirrored budget (current below
+     *  baseline * (1 - max_regression)), best (fastest ratio) first.
+     *  These never fail a check; they prompt a baseline refresh. */
+    std::vector<PhaseDelta> improvements;
     /** Phases compared (present in both, above the time floor). */
     std::size_t comparedPhases = 0;
     /** Baseline phases above the floor that current never recorded. */
@@ -65,9 +91,10 @@ struct PerfComparison
  * Compare @p current against @p baseline: every baseline phase with at
  * least @p min_seconds of wall time is checked, and phases whose current
  * time exceeds baseline * (1 + @p max_regression) are reported as
- * regressions. Phases below the floor are skipped (their timings are
- * noise), as are phases absent from the baseline (new phases cannot
- * regress).
+ * regressions; phases below baseline * (1 - @p max_regression) are
+ * reported as improvements (the baseline is stale on the fast side).
+ * Phases below the floor are skipped (their timings are noise), as are
+ * phases absent from the baseline (new phases cannot regress).
  */
 PerfComparison comparePerfRecords(const PerfRecord &baseline,
                                   const PerfRecord &current,

@@ -1,0 +1,295 @@
+#include "common/trace.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace youtiao::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+std::uint32_t
+currentThreadTag()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t tag =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tag;
+}
+
+namespace {
+
+/** One buffered trace event. Names are string literals at every call
+ *  site, so storing the pointers is allocation-free and safe. */
+struct Event
+{
+    const char *name = nullptr;
+    const char *category = nullptr;
+    char phase = 'X';
+    std::uint64_t tsNs = 0;
+    std::uint64_t durNs = 0;
+    double value = 0.0;
+};
+
+/**
+ * One thread's chunked event buffer. The owning thread appends without
+ * a lock except on chunk boundaries; `committed` is published with a
+ * release store so the snapshot (taken under `chunkMutex`, which also
+ * fences chunk allocation) never observes a half-written event.
+ */
+struct EventBuffer
+{
+    static constexpr std::size_t kChunkEvents = 4096;
+    /** Per-thread cap: ~2M events (~100 MB across a wide pool would be
+     *  a runaway trace; overflow is counted, not fatal). */
+    static constexpr std::size_t kMaxEvents = std::size_t{1} << 21;
+
+    using Chunk = std::array<Event, kChunkEvents>;
+
+    explicit EventBuffer(std::uint32_t thread_tag)
+        : tid(thread_tag)
+    {}
+
+    void append(const Event &event)
+    {
+        const std::size_t n = committed.load(std::memory_order_relaxed);
+        if (n >= kMaxEvents) {
+            dropped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        const std::size_t chunk = n / kChunkEvents;
+        const std::size_t slot = n % kChunkEvents;
+        if (slot == 0) {
+            const std::lock_guard<std::mutex> lock(chunkMutex);
+            chunks.push_back(std::make_unique<Chunk>());
+        }
+        (*chunks[chunk])[slot] = event;
+        committed.store(n + 1, std::memory_order_release);
+    }
+
+    const std::uint32_t tid;
+    mutable std::mutex chunkMutex;
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    std::atomic<std::size_t> committed{0};
+    std::atomic<std::uint64_t> dropped{0};
+};
+
+} // namespace
+
+struct Tracer::Impl
+{
+    mutable std::mutex mutex;
+    std::vector<std::unique_ptr<EventBuffer>> buffers;
+    /** Buffers from previous enable() epochs. Kept (not destroyed) so a
+     *  thread that raced past the epoch check can never touch freed
+     *  memory; bounded by the number of enable() calls. */
+    std::vector<std::unique_ptr<EventBuffer>> retired;
+    std::atomic<std::uint64_t> epoch{1};
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+
+    EventBuffer &localBuffer()
+    {
+        thread_local struct
+        {
+            std::uint64_t epoch = 0;
+            EventBuffer *buffer = nullptr;
+        } cache;
+        const std::uint64_t now =
+            epoch.load(std::memory_order_acquire);
+        if (cache.buffer != nullptr && cache.epoch == now)
+            return *cache.buffer;
+        auto owned = std::make_unique<EventBuffer>(currentThreadTag());
+        EventBuffer *buffer = owned.get();
+        {
+            const std::lock_guard<std::mutex> lock(mutex);
+            buffers.push_back(std::move(owned));
+        }
+        cache.epoch = now;
+        cache.buffer = buffer;
+        return *buffer;
+    }
+};
+
+Tracer::Tracer()
+    : impl_(new Impl)
+{}
+
+Tracer::~Tracer()
+{
+    delete impl_;
+}
+
+Tracer &
+Tracer::global()
+{
+    // Leaked on purpose: spans may close during static destruction,
+    // after local statics would already be gone.
+    static Tracer *instance = new Tracer;
+    return *instance;
+}
+
+void
+Tracer::enable()
+{
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (auto &buffer : impl_->buffers)
+        impl_->retired.push_back(std::move(buffer));
+    impl_->buffers.clear();
+    impl_->t0 = std::chrono::steady_clock::now();
+    impl_->epoch.fetch_add(1, std::memory_order_release);
+    detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void
+Tracer::disable()
+{
+    detail::g_enabled.store(false, std::memory_order_release);
+}
+
+std::uint64_t
+Tracer::nowNs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - impl_->t0)
+            .count());
+}
+
+void
+Tracer::recordComplete(const char *name, const char *category,
+                       std::uint64_t start_ns, std::uint64_t dur_ns)
+{
+    Event event;
+    event.name = name;
+    event.category = category;
+    event.phase = 'X';
+    event.tsNs = start_ns;
+    event.durNs = dur_ns;
+    impl_->localBuffer().append(event);
+}
+
+void
+Tracer::recordInstant(const char *name, const char *category,
+                      std::uint64_t ts_ns)
+{
+    Event event;
+    event.name = name;
+    event.category = category;
+    event.phase = 'i';
+    event.tsNs = ts_ns;
+    impl_->localBuffer().append(event);
+}
+
+void
+Tracer::recordCounter(const char *name, const char *category,
+                      std::uint64_t ts_ns, double value)
+{
+    Event event;
+    event.name = name;
+    event.category = category;
+    event.phase = 'C';
+    event.tsNs = ts_ns;
+    event.value = value;
+    impl_->localBuffer().append(event);
+}
+
+std::uint64_t
+Tracer::droppedEvents() const
+{
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::uint64_t total = 0;
+    for (const auto &buffer : impl_->buffers)
+        total += buffer->dropped.load(std::memory_order_relaxed);
+    return total;
+}
+
+namespace {
+
+/** Microseconds with nanosecond resolution -- the trace-event "ts"
+ *  and "dur" unit Perfetto and chrome://tracing expect. */
+std::string
+micros(std::uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+std::string
+Tracer::toJson() const
+{
+    std::ostringstream out;
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::uint64_t dropped = 0;
+    out << "{\n";
+    out << "  \"schema\": \"youtiao-trace-1\",\n";
+    out << "  \"displayTimeUnit\": \"ms\",\n";
+    out << "  \"traceEvents\": [";
+    bool first = true;
+    for (const auto &buffer : impl_->buffers) {
+        const std::lock_guard<std::mutex> chunk_lock(
+            buffer->chunkMutex);
+        dropped += buffer->dropped.load(std::memory_order_relaxed);
+        const std::size_t n =
+            buffer->committed.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Event &e =
+                (*buffer->chunks[i / EventBuffer::kChunkEvents])
+                    [i % EventBuffer::kChunkEvents];
+            out << (first ? "\n" : ",\n");
+            first = false;
+            out << "    {\"name\": \"" << json::escape(e.name)
+                << "\", \"cat\": \"" << json::escape(e.category)
+                << "\", \"ph\": \"" << e.phase
+                << "\", \"pid\": 1, \"tid\": " << buffer->tid
+                << ", \"ts\": " << micros(e.tsNs);
+            switch (e.phase) {
+              case 'X':
+                out << ", \"dur\": " << micros(e.durNs);
+                break;
+              case 'i':
+                out << ", \"s\": \"t\"";
+                break;
+              case 'C': {
+                char buf[64];
+                std::snprintf(buf, sizeof buf, "%.17g", e.value);
+                out << ", \"args\": {\"value\": " << buf << "}";
+                break;
+              }
+              default:
+                break;
+            }
+            out << "}";
+        }
+    }
+    out << (first ? "],\n" : "\n  ],\n");
+    out << "  \"droppedEvents\": " << dropped << "\n";
+    out << "}\n";
+    return out.str();
+}
+
+bool
+Tracer::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+} // namespace youtiao::trace

@@ -1,7 +1,9 @@
 #include "core/youtiao.hpp"
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "noise/equivalent_distance.hpp"
 
 namespace youtiao {
@@ -17,6 +19,8 @@ YoutiaoDesigner::design(const ChipTopology &chip,
     CrosstalkModel xy, zz;
     {
         const metrics::ScopedTimer timer("design.characterization_fit");
+        const trace::TraceSpan span("design.characterization_fit",
+                                    "design");
         xy = CrosstalkModel::fit(data.xySamples, config_.fit);
         zz = CrosstalkModel::fit(data.zzSamples, config_.fit);
     }
@@ -34,6 +38,8 @@ YoutiaoDesigner::designWithModels(const ChipTopology &chip,
     SymmetricMatrix predicted_xy, predicted_zz;
     {
         const metrics::ScopedTimer timer("design.crosstalk_predict");
+        const trace::TraceSpan span("design.crosstalk_predict",
+                                    "design");
         predicted_xy = xy_model.predictQubitMatrix(chip);
         predicted_zz = zz_model.predictQubitMatrix(chip);
     }
@@ -69,6 +75,7 @@ YoutiaoDesigner::finishDesign(const ChipTopology &chip,
     SymmetricMatrix d_equiv;
     {
         const metrics::ScopedTimer timer("design.distance_matrices");
+        const trace::TraceSpan span("design.distance_matrices", "design");
         const SymmetricMatrix d_phy = qubitPhysicalDistanceMatrix(chip);
         const SymmetricMatrix d_top = qubitTopologicalDistanceMatrix(chip);
         d_equiv =
@@ -78,6 +85,7 @@ YoutiaoDesigner::finishDesign(const ChipTopology &chip,
     Prng prng(config_.seed);
     {
         const metrics::ScopedTimer timer("design.partition");
+        const trace::TraceSpan span("design.partition", "design");
         if (chip.qubitCount() > config_.partitionThresholdQubits) {
             out.partition = generativePartition(chip, d_equiv,
                                                 config_.partition, prng);
@@ -92,23 +100,28 @@ YoutiaoDesigner::finishDesign(const ChipTopology &chip,
 
     {
         const metrics::ScopedTimer timer("design.xy_grouping");
+        const trace::TraceSpan span("design.xy_grouping", "design");
         out.xyPlan =
             groupFdmPartitioned(out.partition, d_equiv, config_.fdm);
     }
     {
         const metrics::ScopedTimer timer("design.frequency_allocation");
+        const trace::TraceSpan span("design.frequency_allocation",
+                                    "design");
         const NoiseModel noise(config_.noise);
         out.frequencyPlan = allocateFrequencies(
             out.xyPlan, out.predictedXy, noise, config_.frequency);
     }
     {
         const metrics::ScopedTimer timer("design.tdm_grouping");
+        const trace::TraceSpan span("design.tdm_grouping", "design");
         out.zPlan = groupTdmPartitioned(chip, out.partition,
                                         out.predictedZzMHz, config_.tdm);
     }
 
     {
         const metrics::ScopedTimer timer("design.readout_planning");
+        const trace::TraceSpan span("design.readout_planning", "design");
         ReadoutConfig readout_cfg = config_.readout;
         readout_cfg.feedlineCapacity = config_.cost.readoutFeedCapacity;
         out.readout = planReadout(d_equiv, readout_cfg);
@@ -121,6 +134,12 @@ YoutiaoDesigner::finishDesign(const ChipTopology &chip,
     out.costUsd = wiringCostUsd(out.counts, config_.cost);
     metrics::count("design.chips_designed");
     metrics::count("design.qubits_designed", chip.qubitCount());
+    log::info("chip designed",
+              {{"qubits", chip.qubitCount()},
+               {"regions", out.partition.regions.size()},
+               {"xy_lines", out.xyPlan.lines.size()},
+               {"z_groups", out.zPlan.groups.size()},
+               {"cost_usd", out.costUsd}});
     return out;
 }
 

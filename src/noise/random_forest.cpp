@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace youtiao {
 
@@ -25,6 +26,7 @@ RandomForest::fit(std::span<const double> features,
 {
     requireConfig(!targets.empty(), "cannot fit on zero samples");
     const metrics::ScopedTimer timer("noise.forest_fit");
+    const trace::TraceSpan span("noise.forest_fit", "noise");
     metrics::count("noise.trees_fitted", config_.treeCount);
     const std::size_t n = targets.size();
     const auto draw_count = static_cast<std::size_t>(
@@ -42,6 +44,7 @@ RandomForest::fit(std::span<const double> features,
     for (std::size_t t = 0; t < config_.treeCount; ++t)
         trees_.emplace_back(config_.tree);
     parallelFor(0, config_.treeCount, [&](std::size_t t) {
+        const trace::TraceSpan tree_span("noise.tree_fit", "noise");
         Prng local(seeds[t]);
         std::vector<std::size_t> bag(draw_count);
         for (std::size_t k = 0; k < draw_count; ++k)

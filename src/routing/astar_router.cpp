@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace youtiao {
 
@@ -159,8 +160,13 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
         }
     }
     metrics::count("astar.cells_expanded", expanded);
+    metrics::observe("astar.cells_expanded",
+                     static_cast<double>(expanded));
+    trace::counter("astar.cells_expanded",
+                   static_cast<double>(expanded), "routing");
     if (goal_state == no_parent) {
         metrics::count("astar.failed_routes");
+        trace::instant("astar.failed_route", "routing");
         return std::nullopt;
     }
 

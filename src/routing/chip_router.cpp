@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "routing/astar_router.hpp"
 
 namespace youtiao {
@@ -222,6 +225,8 @@ routeOnce(const ChipTopology &chip, const std::vector<NetSpec> &nets,
         const NetSpec &net = nets[net_index];
         requireConfig(!net.terminals.empty(), "net without terminals");
         const auto net_id = static_cast<std::int32_t>(net_index);
+        const trace::TraceSpan net_span("routing.net", "routing");
+        const auto net_start = std::chrono::steady_clock::now();
 
         // Claim the perimeter slot nearest the net centroid.
         const Point c = centroid(net);
@@ -288,6 +293,17 @@ routeOnce(const ChipTopology &chip, const std::vector<NetSpec> &nets,
             result.totalLengthMm +=
                 static_cast<double>(path->newCells) * grid.cellMm();
         }
+        if (net_failed[net_index]) {
+            trace::instant("routing.net_failed", "routing");
+            log::debug("net failed to route",
+                       {{"net", static_cast<std::uint64_t>(net_index)},
+                        {"terminals", net.terminals.size()}});
+        }
+        metrics::observe(
+            "routing.net_seconds",
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - net_start)
+                .count());
     }
     result.routingAreaMm2 = result.totalLengthMm * config.grid.cellMm;
     result.grid = std::move(grid);
@@ -301,6 +317,7 @@ routeChip(const ChipTopology &chip, const std::vector<NetSpec> &nets,
           const ChipRoutingConfig &config)
 {
     const metrics::ScopedTimer timer("routing.route_chip");
+    const trace::TraceSpan span("routing.route_chip", "routing");
     // Short nets route first: pin stubs claim their pad alleys before the
     // long trunks (which have many detour options) weave around. When a
     // net still fails, rip everything up and retry with the failed nets
@@ -322,6 +339,7 @@ routeChip(const ChipTopology &chip, const std::vector<NetSpec> &nets,
     SearchArena arena;
     for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
         metrics::count("routing.attempts");
+        const trace::TraceSpan attempt_span("routing.attempt", "routing");
         ChipRoutingResult result =
             routeOnce(chip, nets, config, order, net_failed, arena);
         if (!have_best ||
@@ -339,6 +357,11 @@ routeChip(const ChipTopology &chip, const std::vector<NetSpec> &nets,
     metrics::count("routing.nets_routed", best.netCount);
     metrics::count("routing.failed_connections", best.failedConnections);
     metrics::count("routing.crossovers", best.crossovers.size());
+    log::info("chip routing done",
+              {{"nets", best.netCount},
+               {"failed", best.failedConnections},
+               {"crossovers", best.crossovers.size()},
+               {"length_mm", best.totalLengthMm}});
     return best;
 }
 

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace youtiao {
 
@@ -41,6 +42,7 @@ sampleNoisyExecution(const QuantumCircuit &qc, const Schedule &schedule,
 {
     requireConfig(shots >= 1, "need at least one shot");
     const metrics::ScopedTimer timer("sim.noisy_sampling");
+    const trace::TraceSpan span("sim.noisy_sampling", "sim");
     metrics::count("sim.shots", shots);
 
     // Flatten every independent error channel into one probability list;
@@ -133,6 +135,7 @@ sampleNoisyExecution(const QuantumCircuit &qc, const Schedule &schedule,
     const std::size_t batches = (shots + kShotBatch - 1) / kShotBatch;
     std::vector<BatchTally> tallies(batches);
     parallelFor(0, batches, [&](std::size_t b) {
+        const trace::TraceSpan batch_span("sim.shot_batch", "sim");
         Prng local(taskSeed(root, b));
         const std::size_t lo = b * kShotBatch;
         const std::size_t hi = std::min(shots, lo + kShotBatch);

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace youtiao {
 
@@ -180,6 +181,7 @@ StateVector::run(const QuantumCircuit &qc)
     requireConfig(qc.qubitCount() <= qubitCount_,
                   "circuit wider than the register");
     const metrics::ScopedTimer timer("sim.gate_kernels");
+    const trace::TraceSpan span("sim.gate_kernels", "sim");
     metrics::count("sim.gates_applied", qc.gates().size());
     for (const Gate &g : qc.gates())
         applyGate(g);

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -100,7 +101,7 @@ TEST(Metrics, JsonReportHasSchemaConfigPhasesCounters)
     }
     metrics::count("json.counter", 42);
     const std::string json = metrics::jsonReport("unit_test");
-    EXPECT_NE(json.find("\"schema\": \"youtiao-perf-2\""),
+    EXPECT_NE(json.find("\"schema\": \"youtiao-perf-3\""),
               std::string::npos);
     EXPECT_NE(json.find("\"benchmark\": \"unit_test\""),
               std::string::npos);
@@ -132,6 +133,111 @@ TEST(Metrics, PhaseTableListsPhasesAndCounters)
     const std::string table = metrics::phaseTable();
     EXPECT_NE(table.find("table.phase"), std::string::npos);
     EXPECT_NE(table.find("table.counter"), std::string::npos);
+    metrics::Registry::global().reset();
+}
+
+TEST(Metrics, HistogramObserveTracksCountMinMax)
+{
+    metrics::HistogramStats h;
+    h.observe(1.0);
+    h.observe(4.0);
+    h.observe(0.25);
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_DOUBLE_EQ(h.min, 0.25);
+    EXPECT_DOUBLE_EQ(h.max, 4.0);
+}
+
+TEST(Metrics, HistogramBucketEdgesBracketTheValue)
+{
+    for (double v : {1e-6, 0.5, 1.0, 3.0, 1024.0, 7.5e8}) {
+        const std::size_t i = metrics::HistogramStats::bucketIndex(v);
+        EXPECT_GE(v, metrics::HistogramStats::bucketLowerBound(i)) << v;
+        EXPECT_LT(v, metrics::HistogramStats::bucketUpperBound(i)) << v;
+    }
+    // Zero, negatives, and NaN all land in the catch-all bucket.
+    EXPECT_EQ(metrics::HistogramStats::bucketIndex(0.0), 0u);
+    EXPECT_EQ(metrics::HistogramStats::bucketIndex(-3.0), 0u);
+}
+
+TEST(Metrics, HistogramQuantilesAreClampedAndOrdered)
+{
+    metrics::HistogramStats h;
+    for (int i = 1; i <= 100; ++i)
+        h.observe(static_cast<double>(i));
+    const double p50 = h.quantile(0.5);
+    const double p90 = h.quantile(0.9);
+    const double p99 = h.quantile(0.99);
+    EXPECT_LE(h.min, p50);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p99, h.max);
+    EXPECT_GE(h.quantile(0.0), h.min);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max);
+}
+
+TEST(Metrics, HistogramMergeIsOrderIndependent)
+{
+    // Three shard-like pieces merged in every order must agree bit for
+    // bit -- the property the registry's determinism contract rests on.
+    metrics::HistogramStats a, b, c;
+    for (double v : {0.001, 0.5, 2.0})
+        a.observe(v);
+    for (double v : {3.0, 300.0})
+        b.observe(v);
+    c.observe(1e-12); // catch-all bucket
+    metrics::HistogramStats abc = a;
+    abc.merge(b);
+    abc.merge(c);
+    metrics::HistogramStats cba = c;
+    cba.merge(b);
+    cba.merge(a);
+    EXPECT_EQ(abc.count, cba.count);
+    EXPECT_EQ(abc.buckets, cba.buckets);
+    // Bit-identical, not just approximately equal.
+    EXPECT_EQ(std::memcmp(&abc.min, &cba.min, sizeof abc.min), 0);
+    EXPECT_EQ(std::memcmp(&abc.max, &cba.max, sizeof abc.max), 0);
+    EXPECT_DOUBLE_EQ(abc.quantile(0.5), cba.quantile(0.5));
+}
+
+TEST(Metrics, HistogramsMergeAcrossPoolThreads)
+{
+    metrics::Registry registry;
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    parallelFor(
+        0, n,
+        [&](std::size_t i) {
+            registry.addHistogram("h",
+                                  static_cast<double>(i % 16) + 1.0);
+        },
+        1, &pool);
+    const auto merged = registry.histograms();
+    ASSERT_EQ(merged.count("h"), 1u);
+    EXPECT_EQ(merged.at("h").count, n);
+    EXPECT_DOUBLE_EQ(merged.at("h").min, 1.0);
+    EXPECT_DOUBLE_EQ(merged.at("h").max, 16.0);
+}
+
+TEST(Metrics, JsonReportCarriesHistogramBlock)
+{
+    metrics::Registry::global().reset();
+    metrics::observe("json.hist", 2.0);
+    metrics::observe("json.hist", 8.0);
+    const std::string json = metrics::jsonReport("unit_test");
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"json.hist\""), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+    metrics::Registry::global().reset();
+}
+
+TEST(Metrics, PhaseTableListsHistograms)
+{
+    metrics::Registry::global().reset();
+    metrics::observe("table.hist", 5.0);
+    const std::string table = metrics::phaseTable();
+    EXPECT_NE(table.find("table.hist"), std::string::npos);
     metrics::Registry::global().reset();
 }
 

@@ -12,10 +12,16 @@
 #include <cmath>
 #include <complex>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "chip/topology_builder.hpp"
+#include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/prng.hpp"
+#include "common/trace.hpp"
+#include "core/serialization.hpp"
+#include "core/youtiao.hpp"
 #include "noise/random_forest.hpp"
 #include "sim/noisy_sampler.hpp"
 #include "sim/statevector.hpp"
@@ -188,6 +194,45 @@ TEST(ParallelDeterminism, CallerPrngAdvancesIdentically)
     const auto runs = resultsAtThreadCounts(kCounts, nextDraw);
     for (std::size_t r = 1; r < runs.size(); ++r)
         EXPECT_EQ(runs[r], runs[0]);
+}
+
+TEST(ParallelDeterminism, TracedAndLoggedDesignBitIdenticalToBare)
+{
+    // Tracing and logging observe the pipeline and never feed back into
+    // it: a fully instrumented designer run must serialize byte for
+    // byte like a bare run, at serial and parallel thread counts.
+    const ChipTopology chip = makeSquareGrid(4, 4);
+    Prng prng(11);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    YoutiaoConfig config;
+    config.fit.forest.treeCount = 8;
+    auto designText = [&] {
+        return designToString(
+            YoutiaoDesigner(config).design(chip, data));
+    };
+    const log::Level old_level = log::level();
+    std::size_t log_lines = 0;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ThreadPool::setGlobalThreadCount(threads);
+        const std::string bare = designText();
+
+        trace::Tracer::global().enable();
+        log::setLevel(log::Level::Debug);
+        log::setSink([&log_lines](std::string_view) { ++log_lines; });
+        const std::string instrumented = designText();
+        log::setSink(nullptr);
+        log::setLevel(old_level);
+        trace::Tracer::global().disable();
+
+        EXPECT_EQ(instrumented, bare) << threads << " threads";
+        // The instrumented run must actually have traced something.
+        EXPECT_NE(trace::Tracer::global().toJson().find(
+                      "design.xy_grouping"),
+                  std::string::npos)
+            << threads << " threads";
+    }
+    EXPECT_GT(log_lines, 0u);
+    ThreadPool::setGlobalThreadCount(0);
 }
 
 } // namespace

@@ -20,9 +20,11 @@ TEST(PerfRecord, ParsesLiveJsonReport)
     {
         const metrics::ScopedTimer timer("phase.beta");
     }
+    metrics::observe("hist.latency", 0.5);
+    metrics::observe("hist.latency", 2.0);
     const PerfRecord record =
         parsePerfRecord(metrics::jsonReport("round_trip"));
-    EXPECT_EQ(record.schema, "youtiao-perf-2");
+    EXPECT_EQ(record.schema, "youtiao-perf-3");
     EXPECT_EQ(record.benchmark, "round_trip");
     ASSERT_EQ(record.phases.count("phase.alpha"), 1u);
     ASSERT_EQ(record.phases.count("phase.beta"), 1u);
@@ -30,6 +32,16 @@ TEST(PerfRecord, ParsesLiveJsonReport)
     EXPECT_GE(record.phases.at("phase.alpha").seconds, 0.0);
     ASSERT_EQ(record.counters.count("counter.rows"), 1u);
     EXPECT_EQ(record.counters.at("counter.rows"), 42u);
+    ASSERT_EQ(record.histograms.count("hist.latency"), 1u);
+    const HistogramRecord &hist = record.histograms.at("hist.latency");
+    EXPECT_EQ(hist.count, 2u);
+    EXPECT_DOUBLE_EQ(hist.min, 0.5);
+    EXPECT_DOUBLE_EQ(hist.max, 2.0);
+    EXPECT_LE(hist.p50, hist.p99);
+    std::uint64_t bucket_total = 0;
+    for (const auto &[index, samples] : hist.buckets)
+        bucket_total += samples;
+    EXPECT_EQ(bucket_total, 2u);
     metrics::Registry::global().reset();
 }
 
@@ -94,6 +106,105 @@ TEST(PerfRecord, MissingPhaseWarnsInsteadOfFailing)
     EXPECT_TRUE(cmp.regressions.empty());
     ASSERT_EQ(cmp.missingPhases.size(), 1u);
     EXPECT_EQ(cmp.missingPhases.front(), "phase.beta");
+}
+
+TEST(PerfRecord, ComparisonReportsNotableImprovements)
+{
+    const PerfRecord base = makeRecord(1.0, 2.0);
+    // Alpha got 40% faster (past the mirrored 25% budget); beta only
+    // 10% faster (inside it, so not notable).
+    const PerfRecord faster = makeRecord(0.6, 1.8);
+    const PerfComparison cmp =
+        comparePerfRecords(base, faster, 0.25, 0.01);
+    EXPECT_TRUE(cmp.regressions.empty());
+    ASSERT_EQ(cmp.improvements.size(), 1u);
+    EXPECT_EQ(cmp.improvements.front().phase, "phase.alpha");
+    EXPECT_NEAR(cmp.improvements.front().ratio, 0.6, 1e-12);
+}
+
+TEST(PerfRecord, ComparisonSortsBestImprovementFirst)
+{
+    const PerfRecord base = makeRecord(1.0, 1.0);
+    const PerfRecord faster = makeRecord(0.5, 0.25);
+    const PerfComparison cmp =
+        comparePerfRecords(base, faster, 0.25, 0.01);
+    ASSERT_EQ(cmp.improvements.size(), 2u);
+    EXPECT_EQ(cmp.improvements[0].phase, "phase.beta");
+    EXPECT_EQ(cmp.improvements[1].phase, "phase.alpha");
+}
+
+TEST(PerfRecord, AcceptsLegacySchemaV2WithoutHistograms)
+{
+    const PerfRecord record = parsePerfRecord(R"({
+        "schema": "youtiao-perf-2",
+        "benchmark": "legacy2",
+        "config": {"threads": 1, "peak_rss_bytes": 1048576},
+        "phases": {"phase.alpha": {"seconds": 0.5, "calls": 2}},
+        "counters": {}
+    })");
+    EXPECT_EQ(record.schema, "youtiao-perf-2");
+    EXPECT_TRUE(record.histograms.empty());
+    ASSERT_TRUE(record.peakRssBytes.has_value());
+    EXPECT_EQ(*record.peakRssBytes, 1048576u);
+}
+
+TEST(PerfRecord, NullPeakRssMeansNotComparable)
+{
+    const PerfRecord record = parsePerfRecord(R"({
+        "schema": "youtiao-perf-3",
+        "benchmark": "rssless",
+        "config": {"threads": 1, "peak_rss_bytes": null},
+        "phases": {},
+        "counters": {}
+    })");
+    EXPECT_FALSE(record.peakRssBytes.has_value());
+}
+
+TEST(PerfRecord, ParsesHistogramBlock)
+{
+    const PerfRecord record = parsePerfRecord(R"({
+        "schema": "youtiao-perf-3",
+        "benchmark": "hist",
+        "phases": {},
+        "counters": {},
+        "histograms": {
+            "routing.net_seconds": {
+                "count": 3, "min": 0.25, "max": 4.0,
+                "p50": 0.5, "p90": 3.0, "p99": 4.0,
+                "buckets": {"29": 1, "31": 1, "33": 1}
+            }
+        }
+    })");
+    ASSERT_EQ(record.histograms.count("routing.net_seconds"), 1u);
+    const HistogramRecord &h =
+        record.histograms.at("routing.net_seconds");
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_DOUBLE_EQ(h.min, 0.25);
+    EXPECT_DOUBLE_EQ(h.max, 4.0);
+    EXPECT_EQ(h.buckets.at(29), 1u);
+    EXPECT_EQ(h.buckets.at(33), 1u);
+}
+
+TEST(PerfRecord, RejectsBadHistogramBucketKeys)
+{
+    EXPECT_THROW(parsePerfRecord(R"({
+        "schema": "youtiao-perf-3",
+        "benchmark": "hist",
+        "phases": {}, "counters": {},
+        "histograms": {"h": {"count": 1, "min": 1, "max": 1,
+            "p50": 1, "p90": 1, "p99": 1,
+            "buckets": {"not-a-number": 1}}}
+    })"),
+                 ConfigError);
+    EXPECT_THROW(parsePerfRecord(R"({
+        "schema": "youtiao-perf-3",
+        "benchmark": "hist",
+        "phases": {}, "counters": {},
+        "histograms": {"h": {"count": 1, "min": 1, "max": 1,
+            "p50": 1, "p90": 1, "p99": 1,
+            "buckets": {"64": 1}}}
+    })"),
+                 ConfigError);
 }
 
 TEST(PerfRecord, AcceptsLegacySchemaV1)

@@ -6,13 +6,17 @@
  *   perf_check --baseline FILE --current FILE
  *              [--max-regression R] [--min-seconds S]
  *
- * Both files are `BENCH_<name>.json` records (docs/FILE_FORMATS.md).
- * Every baseline phase with at least S seconds of wall time (default
- * 0.01 -- faster phases are timing noise) is compared; the check fails
- * when any current phase exceeds baseline * (1 + R) (default R = 0.25).
- * Baseline phases the current run never recorded are reported as
- * warnings but do not fail the check (a renamed phase should update the
- * baseline, not break every PR).
+ * Both files are `BENCH_<name>.json` records (docs/FILE_FORMATS.md,
+ * schemas youtiao-perf-1 through -3 accepted). Every baseline phase
+ * with at least S seconds of wall time (default 0.01 -- faster phases
+ * are timing noise) is compared; the check fails when any current
+ * phase exceeds baseline * (1 + R) (default R = 0.25). Baseline phases
+ * the current run never recorded are reported as warnings but do not
+ * fail the check (a renamed phase should update the baseline, not
+ * break every PR). Phases that got notably *faster* (below
+ * baseline * (1 - R)) are reported as IMPROVEMENT lines so a stale
+ * baseline gets refreshed instead of hiding later regressions inside
+ * the slack; improvements never fail the check.
  *
  * Exit codes: 0 within budget, 1 regression found, 2 usage / bad input.
  */
@@ -90,6 +94,20 @@ main(int argc, char **argv)
                          baseline.benchmark.c_str(),
                          current.benchmark.c_str());
 
+        // Peak RSS is informational: null (platform could not measure)
+        // means "not comparable", never a zero-byte measurement.
+        if (baseline.peakRssBytes.has_value() &&
+            current.peakRssBytes.has_value()) {
+            std::printf("peak RSS %llu -> %llu bytes\n",
+                        static_cast<unsigned long long>(
+                            *baseline.peakRssBytes),
+                        static_cast<unsigned long long>(
+                            *current.peakRssBytes));
+        } else {
+            std::printf("peak RSS not comparable (unmeasured on at "
+                        "least one side)\n");
+        }
+
         const PerfComparison cmp = comparePerfRecords(
             baseline, current, max_regression, min_seconds);
         for (const std::string &name : cmp.missingPhases)
@@ -101,6 +119,15 @@ main(int argc, char **argv)
                     "(budget +%.0f%%, floor %gs)\n",
                     current.benchmark.c_str(), cmp.comparedPhases,
                     max_regression * 100.0, min_seconds);
+        for (const auto &r : cmp.improvements)
+            std::printf("IMPROVEMENT %-40s %.4fs -> %.4fs (%.0f%%)\n",
+                        r.phase.c_str(), r.baselineSeconds,
+                        r.currentSeconds, (1.0 - r.ratio) * 100.0);
+        if (!cmp.improvements.empty())
+            std::printf("note: %zu phase(s) are notably faster than "
+                        "the baseline; consider refreshing "
+                        "bench/baselines/ so the budget stays tight\n",
+                        cmp.improvements.size());
         if (cmp.regressions.empty()) {
             std::printf("perf_check OK\n");
             return 0;

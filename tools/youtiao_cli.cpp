@@ -4,15 +4,22 @@
  *
  *   youtiao_cli [--topology NAME] [--rows N] [--cols N] [--seed S]
  *               [--capacity K] [--theta T] [--compare] [--profile]
- *               [--repeat N]
+ *               [--repeat N] [--route] [--trace FILE]
+ *               [--log-level LEVEL]
  *
  * Topologies: square, hexagon, heavy-square, heavy-hexagon, low-density,
  * grid (with --rows/--cols). Prints the full wiring report; --compare
  * adds the dedicated-wiring baseline bill; --profile appends the
- * per-phase wall-clock table and counters of the design pipeline.
- * --repeat N (with --profile) re-runs the design pipeline N times after
- * one discarded warmup run and reports the per-phase median, so profile
- * numbers are stable enough to compare across builds.
+ * per-phase wall-clock table, counters, and latency histograms of the
+ * design pipeline. --repeat N (with --profile) re-runs the design
+ * pipeline N times after one discarded warmup run and reports the
+ * per-phase median, so profile numbers are stable enough to compare
+ * across builds. --route also routes the wiring nets on the chip and
+ * prints a routing summary. --trace FILE records a span timeline of the
+ * run as Chrome trace-event JSON (schema "youtiao-trace-1", open in
+ * Perfetto or chrome://tracing) and implies --route so the timeline
+ * covers per-net routing work. --log-level raises the structured-log
+ * threshold (error|warn|info|debug; also YOUTIAO_LOG).
  *
  * Exit codes: 0 success, 1 runtime failure, 2 usage / bad argument.
  */
@@ -31,11 +38,14 @@
 #include "chip/topology_builder.hpp"
 #include "common/cli_parse.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/baselines.hpp"
 #include "core/report.hpp"
 #include "core/serialization.hpp"
 #include "core/youtiao.hpp"
+#include "routing/chip_router.hpp"
 
 namespace {
 
@@ -51,14 +61,21 @@ usage(const char *argv0)
         "          [--rows N] [--cols N] [--seed S] [--capacity K] "
         "[--theta T] [--compare]\n"
         "          [--save FILE] [--chip FILE] [--profile] "
-        "[--repeat N]\n"
+        "[--repeat N] [--route]\n"
+        "          [--trace FILE] [--log-level error|warn|info|debug]\n"
         "  --rows/--cols/--capacity take integers >= 1, --theta a "
         "positive number;\n"
-        "  --profile appends the per-phase wall-clock table to the "
-        "report;\n"
+        "  --profile appends the per-phase wall-clock table, counters "
+        "and histograms;\n"
         "  --repeat N (requires --profile) re-runs the design N times "
         "after a\n"
-        "  discarded warmup and reports the per-phase median\n",
+        "  discarded warmup and reports the per-phase median;\n"
+        "  --route also routes the wiring nets and prints a summary;\n"
+        "  --trace FILE writes a Chrome trace-event timeline of the run "
+        "(implies\n"
+        "  --route); --log-level sets the structured-log threshold "
+        "(also the\n"
+        "  YOUTIAO_LOG environment variable)\n",
         argv0);
     std::exit(2);
 }
@@ -103,9 +120,11 @@ main(int argc, char **argv)
     double theta = 4.0;
     bool compare = false;
     bool profile = false;
+    bool route = false;
     std::size_t repeat = 1;
     std::string save_path;
     std::string chip_path;
+    std::string trace_path;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -133,11 +152,22 @@ main(int argc, char **argv)
                 profile = true;
             else if (arg == "--repeat")
                 repeat = parseSizeArg(next(), "--repeat", 1, 10000);
+            else if (arg == "--route")
+                route = true;
             else if (arg == "--save")
                 save_path = next();
             else if (arg == "--chip")
                 chip_path = next();
-            else
+            else if (arg == "--trace")
+                trace_path = next();
+            else if (arg == "--log-level") {
+                const char *name = next();
+                if (!log::setLevelByName(name)) {
+                    std::fprintf(stderr,
+                                 "error: unknown log level '%s'\n", name);
+                    return 2;
+                }
+            } else
                 usage(argv[0]);
         }
     } catch (const ConfigError &e) {
@@ -148,6 +178,10 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: --repeat requires --profile\n");
         return 2;
     }
+    // A trace without the routing stage would miss the per-net spans
+    // that make the timeline worth reading.
+    if (!trace_path.empty())
+        route = true;
 
     TopologyFamily family;
     if (topology == "square")
@@ -172,12 +206,16 @@ main(int argc, char **argv)
         } else {
             std::ifstream in(chip_path);
             if (!in) {
+                // A chip file that cannot be read is a bad argument,
+                // same exit code as any other unusable flag value.
                 std::fprintf(stderr, "error: cannot read %s\n",
                              chip_path.c_str());
-                return 1;
+                return 2;
             }
             chip = loadChip(in);
         }
+        if (!trace_path.empty())
+            trace::Tracer::global().enable();
         Prng prng(seed);
         const ChipCharacterization data = characterizeChip(chip, prng);
 
@@ -230,6 +268,20 @@ main(int argc, char **argv)
                         costComparison(design, google, "dedicated")
                             .c_str());
         }
+        if (route) {
+            const auto nets = buildWiringNets(
+                chip, design.xyPlan, design.zPlan, design.readoutPlan);
+            const ChipRoutingResult routed = routeChip(chip, nets);
+            std::printf("\n-- chip routing --\n"
+                        "nets routed            %zu\n"
+                        "failed connections     %zu\n"
+                        "total wire length      %.1f mm\n"
+                        "routing area           %.2f mm^2\n"
+                        "airbridge crossovers   %zu\n",
+                        routed.netCount, routed.failedConnections,
+                        routed.totalLengthMm, routed.routingAreaMm2,
+                        routed.crossovers.size());
+        }
         if (profile) {
             if (repeat > 1) {
                 std::printf("\n(median of %zu measured runs, 1 warmup "
@@ -243,7 +295,17 @@ main(int argc, char **argv)
                 std::fputs(metrics::phaseTable().c_str(), stdout);
             }
         }
+        if (!trace_path.empty()) {
+            trace::Tracer::global().disable();
+            if (!trace::Tracer::global().writeJson(trace_path)) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             trace_path.c_str());
+                return 1;
+            }
+            std::printf("\ntrace written to %s\n", trace_path.c_str());
+        }
     } catch (const std::exception &e) {
+        log::error("run failed", {{"what", e.what()}});
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
