@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/log.hpp"
 
 namespace youtiao {
 
@@ -84,6 +86,14 @@ loadChip(std::istream &in)
             std::size_t a = 0, b = 0;
             requireConfig(static_cast<bool>(stream >> a >> b),
                           "coupler line needs two qubit indices");
+            if (fault::site("chip.load_coupler")) {
+                // Injected wire-bond failure: the coupler exists on the
+                // chip but cannot be driven, so it never enters the
+                // topology the designer wires.
+                log::warn("fault injected: coupler dropped at load",
+                          {{"qubit_a", a}, {"qubit_b", b}});
+                continue;
+            }
             chip.addCoupler(a, b); // validates indices / duplicates
         } else {
             throw ConfigError("unknown chip file key '" + key + "'");

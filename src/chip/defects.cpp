@@ -1,0 +1,99 @@
+#include "chip/defects.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace youtiao {
+
+DefectRates
+uniformDefectRates(double rate)
+{
+    requireConfig(rate >= 0.0 && rate <= 1.0,
+                  "defect rate must be in [0, 1]");
+    DefectRates rates;
+    rates.deadQubitRate = rate;
+    rates.brokenCouplerRate = rate;
+    rates.maskedBandRate = rate;
+    rates.blockedCellRate = rate;
+    return rates;
+}
+
+ChipDefects
+randomDefects(const ChipTopology &chip, const DefectRates &rates,
+              std::uint64_t seed)
+{
+    Prng prng(seed);
+    ChipDefects defects;
+    for (std::size_t q = 0; q < chip.qubitCount(); ++q) {
+        if (prng.bernoulli(rates.deadQubitRate))
+            defects.deadQubits.push_back(q);
+    }
+    for (std::size_t c = 0; c < chip.couplerCount(); ++c) {
+        if (prng.bernoulli(rates.brokenCouplerRate))
+            defects.brokenCouplers.push_back(c);
+    }
+    // One 50 MHz candidate slice per 500 MHz of the 4-7 GHz band; a
+    // fired slice models a TWPA dip or package resonance.
+    for (double lo = 4.0; lo < 7.0; lo += 0.5) {
+        if (prng.bernoulli(rates.maskedBandRate))
+            defects.maskedBandsGHz.push_back(
+                FrequencyMask{lo, lo + 0.05});
+    }
+    for (std::size_t d = 0; d < chip.deviceCount(); ++d) {
+        if (prng.bernoulli(rates.blockedCellRate)) {
+            Point p = chip.devicePosition(d);
+            // Offset into the routing channel next to the device so the
+            // block contends with wires, not with the keep-out pad.
+            p.x += prng.uniform(0.4, 0.8);
+            p.y += prng.uniform(-0.2, 0.2);
+            defects.blockedRoutingCells.push_back(p);
+        }
+    }
+    return defects;
+}
+
+DegradedChip
+applyDefects(const ChipTopology &chip, const ChipDefects &defects)
+{
+    for (std::size_t q : defects.deadQubits)
+        requireConfig(q < chip.qubitCount(),
+                      "dead qubit index out of range");
+    for (std::size_t c : defects.brokenCouplers)
+        requireConfig(c < chip.couplerCount(),
+                      "broken coupler index out of range");
+
+    std::vector<bool> dead(chip.qubitCount(), false);
+    for (std::size_t q : defects.deadQubits)
+        dead[q] = true;
+    std::vector<bool> broken(chip.couplerCount(), false);
+    for (std::size_t c : defects.brokenCouplers)
+        broken[c] = true;
+
+    DegradedChip out;
+    out.chip = ChipTopology(chip.name());
+    out.newIndexOfQubit.assign(chip.qubitCount(), ChipTopology::npos);
+    for (std::size_t q = 0; q < chip.qubitCount(); ++q) {
+        if (dead[q])
+            continue;
+        out.newIndexOfQubit[q] = out.chip.addQubit(chip.qubit(q));
+        out.oldIndexOfQubit.push_back(q);
+    }
+    requireConfig(out.chip.qubitCount() > 0,
+                  "every qubit is dead; nothing left to design");
+
+    for (std::size_t c = 0; c < chip.couplerCount(); ++c) {
+        const CouplerInfo &info = chip.coupler(c);
+        if (broken[c] || dead[info.qubitA] || dead[info.qubitB]) {
+            out.removedCouplers.push_back(c);
+            continue;
+        }
+        out.chip.addCoupler(out.newIndexOfQubit[info.qubitA],
+                            out.newIndexOfQubit[info.qubitB],
+                            info.position);
+    }
+    return out;
+}
+
+} // namespace youtiao

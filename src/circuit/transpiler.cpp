@@ -3,11 +3,42 @@
 #include <algorithm>
 #include <numbers>
 #include <queue>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "graph/shortest_path.hpp"
 
 namespace youtiao {
+
+namespace {
+
+std::string
+transpileErrorMessage(GateKind kind, std::size_t gate_index,
+                      std::size_t logical_a, std::size_t logical_b,
+                      std::size_t physical_a, std::size_t physical_b)
+{
+    std::ostringstream out;
+    out << "cannot route gate #" << gate_index << " ("
+        << gateKindName(kind) << " l" << logical_a << ", l" << logical_b
+        << "): no swap chain connects physical qubits q" << physical_a
+        << " and q" << physical_b
+        << " (coupling graph disconnected between them)";
+    return out.str();
+}
+
+} // namespace
+
+TranspileError::TranspileError(GateKind kind, std::size_t gate_index,
+                               std::size_t logical_a,
+                               std::size_t logical_b,
+                               std::size_t physical_a,
+                               std::size_t physical_b)
+    : ConfigError(transpileErrorMessage(kind, gate_index, logical_a,
+                                        logical_b, physical_a,
+                                        physical_b)),
+      kind_(kind), gateIndex_(gate_index), logicalA_(logical_a),
+      logicalB_(logical_b), physicalA_(physical_a), physicalB_(physical_b)
+{}
 
 namespace {
 
@@ -114,13 +145,17 @@ snakeOrder(const ChipTopology &chip)
     return order;
 }
 
-/** Shortest path between two vertices (inclusive endpoints). */
+/**
+ * Shortest path between two vertices (inclusive endpoints); empty when
+ * @p to is unreachable so the caller can raise a TranspileError naming
+ * the gate.
+ */
 std::vector<std::size_t>
 shortestPath(const Graph &g, std::size_t from, std::size_t to)
 {
     const MultiPathResult bfs = multiPathBfs(g, from);
-    requireConfig(bfs.hops[to] != kUnreachable,
-                  "cannot route on a disconnected coupling graph");
+    if (bfs.hops[to] == kUnreachable)
+        return {};
     std::vector<std::size_t> path{to};
     std::size_t at = to;
     while (at != from) {
@@ -164,7 +199,9 @@ transpile(const QuantumCircuit &logical, const ChipTopology &chip)
     TranspileResult result;
     result.physical = QuantumCircuit(chip.qubitCount(), logical.name());
 
-    for (const Gate &g : logical.gates()) {
+    const std::vector<Gate> &gates = logical.gates();
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const Gate &g = gates[gi];
         if (!isTwoQubit(g.kind)) {
             const std::size_t p =
                 g.kind == GateKind::Barrier ? 0
@@ -177,6 +214,9 @@ transpile(const QuantumCircuit &logical, const ChipTopology &chip)
         if (!coupling.hasEdge(pa, pb)) {
             // Walk operand A along a shortest path until adjacent to B.
             const auto path = shortestPath(coupling, pa, pb);
+            if (path.empty())
+                throw TranspileError(g.kind, gi, g.qubit0, g.qubit1, pa,
+                                     pb);
             for (std::size_t k = 0; k + 2 < path.size(); ++k) {
                 emitSwap(result.physical, path[k], path[k + 1]);
                 ++result.insertedSwaps;
@@ -190,8 +230,9 @@ transpile(const QuantumCircuit &logical, const ChipTopology &chip)
             }
             pa = phys_of_logical[g.qubit0];
             pb = phys_of_logical[g.qubit1];
-            requireInternal(coupling.hasEdge(pa, pb),
-                            "routing failed to make operands adjacent");
+            if (!coupling.hasEdge(pa, pb))
+                throw TranspileError(g.kind, gi, g.qubit0, g.qubit1, pa,
+                                     pb);
         }
         emitLowered(result.physical, g, pa, pb);
     }

@@ -7,12 +7,46 @@
 #ifndef YOUTIAO_CIRCUIT_TRANSPILER_HPP
 #define YOUTIAO_CIRCUIT_TRANSPILER_HPP
 
+#include <cstddef>
 #include <vector>
 
 #include "chip/topology.hpp"
 #include "circuit/circuit.hpp"
+#include "common/error.hpp"
 
 namespace youtiao {
+
+/**
+ * Routing failed to make a two-qubit gate's operands adjacent (the chip's
+ * coupling graph is disconnected between them, typically after defects
+ * removed the bridging couplers). Carries the offending gate so callers
+ * can report which operation is unimplementable instead of a bare
+ * invariant message.
+ */
+class TranspileError : public ConfigError
+{
+  public:
+    TranspileError(GateKind kind, std::size_t gate_index,
+                   std::size_t logical_a, std::size_t logical_b,
+                   std::size_t physical_a, std::size_t physical_b);
+
+    /** Kind of the gate that could not be routed. */
+    GateKind gateKind() const { return kind_; }
+    /** Index of the gate in the logical circuit's gate list. */
+    std::size_t gateIndex() const { return gateIndex_; }
+    /** Logical operands of the offending gate. */
+    std::size_t logicalQubit0() const { return logicalA_; }
+    std::size_t logicalQubit1() const { return logicalB_; }
+    /** Physical qubits the operands occupied when routing gave up. */
+    std::size_t physicalQubit0() const { return physicalA_; }
+    std::size_t physicalQubit1() const { return physicalB_; }
+
+  private:
+    GateKind kind_;
+    std::size_t gateIndex_;
+    std::size_t logicalA_, logicalB_;
+    std::size_t physicalA_, physicalB_;
+};
 
 /** Output of transpile(). */
 struct TranspileResult
@@ -32,7 +66,8 @@ struct TranspileResult
  * the coupling graph (keeping small circuits on a connected patch).
  * Non-adjacent two-qubit gates are routed by swapping one operand along a
  * BFS shortest path. Throws ConfigError when the circuit is wider than the
- * chip or the chip is disconnected.
+ * chip, and TranspileError (a ConfigError subtype naming the gate and its
+ * operands) when no swap chain can make a gate's operands adjacent.
  */
 TranspileResult transpile(const QuantumCircuit &logical,
                           const ChipTopology &chip);

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Recoverable-error plumbing for the design pipeline.
+ *
+ * The throwing helpers in common/error.hpp stay the right tool for
+ * programming mistakes (bad arguments, broken invariants); DesignError +
+ * Expected cover the other class of failure -- a pipeline stage that
+ * cannot produce a result for this *input* (an infeasible frequency
+ * allocation, an unroutable net list, a chip degraded past usefulness).
+ * Those failures are data, not exceptions: callers inspect the stage and
+ * context, try a degraded configuration, or surface a structured report,
+ * but never crash.
+ */
+
+#ifndef YOUTIAO_COMMON_EXPECTED_HPP
+#define YOUTIAO_COMMON_EXPECTED_HPP
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace youtiao {
+
+/** Pipeline stage a recoverable failure originated from. */
+enum class DesignStage
+{
+    ChipLoad,
+    ModelFit,
+    Partition,
+    FdmGrouping,
+    FrequencyAllocation,
+    TdmGrouping,
+    ReadoutPlanning,
+    Routing,
+    Transpile,
+    Validation,
+};
+
+/** Stable lower-case name of a stage ("frequency_allocation", ...). */
+const char *designStageName(DesignStage stage);
+
+/**
+ * A typed, recoverable design failure: which stage gave up, why, and any
+ * key=value context worth reporting (offending qubit, attempt budget,
+ * net id). Rendered into CLI error output and campaign JSON.
+ */
+struct DesignError
+{
+    DesignStage stage = DesignStage::Validation;
+    std::string message;
+    /** "key=value" detail pairs, in the order they were attached. */
+    std::vector<std::string> context;
+
+    DesignError() = default;
+    DesignError(DesignStage error_stage, std::string msg)
+        : stage(error_stage), message(std::move(msg))
+    {}
+
+    DesignError &
+    with(const std::string &key, const std::string &value)
+    {
+        context.push_back(key + "=" + value);
+        return *this;
+    }
+
+    DesignError &
+    with(const std::string &key, std::size_t value)
+    {
+        return with(key, std::to_string(value));
+    }
+
+    /** "stage: message (key=value, ...)" single-line rendering. */
+    std::string
+    toString() const
+    {
+        std::string out = std::string(designStageName(stage)) + ": " +
+                          message;
+        if (!context.empty()) {
+            out += " (";
+            for (std::size_t i = 0; i < context.size(); ++i) {
+                if (i > 0)
+                    out += ", ";
+                out += context[i];
+            }
+            out += ")";
+        }
+        return out;
+    }
+};
+
+inline const char *
+designStageName(DesignStage stage)
+{
+    switch (stage) {
+      case DesignStage::ChipLoad:
+        return "chip_load";
+      case DesignStage::ModelFit:
+        return "model_fit";
+      case DesignStage::Partition:
+        return "partition";
+      case DesignStage::FdmGrouping:
+        return "fdm_grouping";
+      case DesignStage::FrequencyAllocation:
+        return "frequency_allocation";
+      case DesignStage::TdmGrouping:
+        return "tdm_grouping";
+      case DesignStage::ReadoutPlanning:
+        return "readout_planning";
+      case DesignStage::Routing:
+        return "routing";
+      case DesignStage::Transpile:
+        return "transpile";
+      case DesignStage::Validation:
+        return "validation";
+    }
+    return "unknown";
+}
+
+/**
+ * Minimal result-or-error holder (std::expected arrives in C++23; this
+ * covers the subset the pipeline needs). Implicitly constructible from
+ * either alternative; value() on an error throws InternalError, so
+ * unchecked access fails loudly instead of reading garbage.
+ */
+template <typename T, typename E>
+class Expected
+{
+  public:
+    Expected(T value)
+        : storage_(std::in_place_index<0>, std::move(value))
+    {}
+
+    Expected(E error)
+        : storage_(std::in_place_index<1>, std::move(error))
+    {}
+
+    bool hasValue() const { return storage_.index() == 0; }
+    explicit operator bool() const { return hasValue(); }
+
+    T &
+    value()
+    {
+        requireInternal(hasValue(),
+                        "Expected::value() called on an error");
+        return std::get<0>(storage_);
+    }
+
+    const T &
+    value() const
+    {
+        requireInternal(hasValue(),
+                        "Expected::value() called on an error");
+        return std::get<0>(storage_);
+    }
+
+    E &
+    error()
+    {
+        requireInternal(!hasValue(),
+                        "Expected::error() called on a value");
+        return std::get<1>(storage_);
+    }
+
+    const E &
+    error() const
+    {
+        requireInternal(!hasValue(),
+                        "Expected::error() called on a value");
+        return std::get<1>(storage_);
+    }
+
+    T
+    valueOr(T fallback) const
+    {
+        return hasValue() ? std::get<0>(storage_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, E> storage_;
+};
+
+} // namespace youtiao
+
+#endif // YOUTIAO_COMMON_EXPECTED_HPP

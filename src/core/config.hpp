@@ -6,6 +6,7 @@
 #ifndef YOUTIAO_CORE_CONFIG_HPP
 #define YOUTIAO_CORE_CONFIG_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 #include "cost/cost_model.hpp"
@@ -18,6 +19,22 @@
 #include "partition/generative_partition.hpp"
 
 namespace youtiao {
+
+/** Graceful-degradation knobs for the robust design path (DESIGN.md
+ *  §9): how hard the ladder tries before returning a DesignError. */
+struct RobustnessConfig
+{
+    /**
+     * Grouping + frequency-allocation attempts before giving up
+     * (>= 1). Each retry shrinks the FDM line capacity by one (fewer,
+     * wider frequency zones) and perturbs the grouping with seeded
+     * jitter, so a masked band or injected infeasibility costs lines
+     * instead of the whole design.
+     */
+    std::size_t maxAllocationAttempts = 4;
+    /** Relative equivalent-distance jitter applied on retries. */
+    double retryJitter = 0.05;
+};
 
 /** End-to-end designer configuration (paper defaults). */
 struct YoutiaoConfig
@@ -38,6 +55,8 @@ struct YoutiaoConfig
     NoiseModelConfig noise;
     /** Unit prices / readout capacities. */
     CostModelConfig cost;
+    /** Degradation-ladder budget for the *Robust design entry points. */
+    RobustnessConfig robustness;
     /** Chips at or below this qubit count skip partitioning. */
     std::size_t partitionThresholdQubits = 24;
     /** Master seed for all stochastic stages. */

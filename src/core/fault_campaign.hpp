@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fault-injection campaign harness (DESIGN.md §9).
+ *
+ * A campaign sweeps seeded random chip defects (and, optionally, a
+ * fault-injection spec for the pipeline's named sites) over a rate and
+ * seed grid, runs the robust designer on every degraded chip, routes and
+ * DRC-checks the survivors, and reports one structured record per run.
+ * The harness itself never throws past configuration validation: every
+ * pipeline failure becomes a structured error string in its run record,
+ * which is the property the robustness tests assert.
+ */
+
+#ifndef YOUTIAO_CORE_FAULT_CAMPAIGN_HPP
+#define YOUTIAO_CORE_FAULT_CAMPAIGN_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/topology.hpp"
+#include "core/youtiao.hpp"
+
+namespace youtiao {
+
+/** Campaign sweep parameters. */
+struct FaultCampaignConfig
+{
+    /** Defect rates to sweep (each in [0, 1]). */
+    std::vector<double> defectRates{0.01, 0.05, 0.10};
+    /** Seeds per rate; run r of a rate uses taskSeed(baseSeed, index). */
+    std::size_t seedsPerRate = 8;
+    /** Master seed for defect generation and characterization. */
+    std::uint64_t baseSeed = 2025;
+    /**
+     * Optional fault-injection spec (YOUTIAO_FAULTS grammar, see
+     * common/fault.hpp) armed for the whole campaign. Site hit counters
+     * run across the campaign's serial run order, so the sweep is
+     * deterministic end to end. Empty = defects only.
+     */
+    std::string faultSpec;
+    /** Route each surviving design and DRC-check the result. */
+    bool route = true;
+    /** Designer configuration applied to every run. */
+    YoutiaoConfig designer;
+};
+
+/** One (rate, seed) cell of the sweep. */
+struct FaultCampaignRun
+{
+    double defectRate = 0.0;
+    std::uint64_t seed = 0;
+    /** Defects actually injected into the chip. */
+    std::size_t deadQubits = 0;
+    std::size_t brokenCouplers = 0;
+    std::size_t maskedBands = 0;
+    /** A design was produced (possibly degraded). */
+    bool ok = false;
+    /** The design's ladder had to give something up. */
+    bool degraded = false;
+    /** Routing ran for this design. */
+    bool routed = false;
+    /** DRC verdict of the routed design (true when routing was off). */
+    bool drcClean = true;
+    std::size_t drcViolations = 0;
+    std::size_t failedConnections = 0;
+    /** Ladder outcome of the run's design. */
+    DegradationReport degradation;
+    double costUsd = 0.0;
+    /** Structured failure description when !ok (DesignError::toString). */
+    std::string error;
+};
+
+/** Whole-campaign result. */
+struct FaultCampaignSummary
+{
+    std::string chipName;
+    std::size_t chipQubits = 0;
+    FaultCampaignConfig config;
+    std::vector<FaultCampaignRun> runs;
+    std::size_t okCount = 0;
+    std::size_t failedCount = 0;
+    std::size_t degradedCount = 0;
+    std::size_t drcViolationCount = 0;
+
+    /**
+     * True iff every run is accounted for: either a design was produced
+     * (DRC-clean when routed) or a non-empty structured error explains
+     * why not. The campaign's acceptance property.
+     */
+    bool allRunsAccounted() const;
+
+    /** Campaign record as JSON ("youtiao-fault-campaign-1" schema,
+     *  documented in docs/FAULT_INJECTION.md). */
+    std::string toJson() const;
+};
+
+/**
+ * Run the sweep on @p chip. Serial and deterministic: the same chip,
+ * config, and fault spec reproduce the same summary bit for bit.
+ * Throws ConfigError only for invalid campaign configuration (bad rate,
+ * zero seeds, malformed fault spec); per-run failures are recorded, not
+ * thrown.
+ */
+FaultCampaignSummary runFaultCampaign(const ChipTopology &chip,
+                                      const FaultCampaignConfig &config);
+
+} // namespace youtiao
+
+#endif // YOUTIAO_CORE_FAULT_CAMPAIGN_HPP

@@ -105,6 +105,10 @@ wiringReport(const ChipTopology &chip, const YoutiaoDesign &design,
                   design.counts.coax(), design.counts.rfDacs(),
                   design.counts.interfaces(), design.costUsd / 1e3);
     out << line;
+    // Only robust-path designs that actually gave something up carry a
+    // degradation block; clean reports stay byte-identical.
+    if (!design.degradation.empty())
+        out << '\n' << design.degradation.summary();
     return out.str();
 }
 

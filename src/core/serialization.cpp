@@ -80,6 +80,19 @@ class LineReader
     std::istream &in_;
 };
 
+/**
+ * Upper bound on how many whitespace-separated values @p stream's line
+ * can still hold (every value costs at least one character plus a
+ * separator). Counts parsed from garbled files are checked against it
+ * before sizing containers, so corruption yields ConfigError instead of
+ * a multi-gigabyte allocation.
+ */
+std::size_t
+tokenBudget(const std::istringstream &stream)
+{
+    return stream.str().size() / 2 + 1;
+}
+
 std::vector<std::size_t>
 readSizeVector(std::istringstream stream)
 {
@@ -106,6 +119,8 @@ readSymmetric(std::istringstream stream)
     std::size_t n = 0;
     requireConfig(static_cast<bool>(stream >> n),
                   "symmetric matrix missing size");
+    requireConfig(n <= 65536 && n * (n + 1) / 2 <= tokenBudget(stream),
+                  "symmetric matrix size implausible for its line");
     SymmetricMatrix m(n);
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = i; j < n; ++j) {
@@ -138,11 +153,15 @@ readGroups(std::istringstream stream)
     std::size_t count = 0;
     requireConfig(static_cast<bool>(stream >> count),
                   "group list missing count");
+    requireConfig(count <= tokenBudget(stream),
+                  "group count implausible for its line");
     std::vector<std::vector<std::size_t>> groups(count);
     for (auto &g : groups) {
         std::size_t size = 0;
         requireConfig(static_cast<bool>(stream >> size),
                       "group missing size");
+        requireConfig(size <= tokenBudget(stream),
+                      "group size implausible for its line");
         g.resize(size);
         for (std::size_t &v : g)
             requireConfig(static_cast<bool>(stream >> v),
@@ -238,11 +257,15 @@ loadDesign(std::istream &in)
         std::size_t count = 0;
         requireConfig(static_cast<bool>(stream >> count),
                       "missing TDM group count");
+        requireConfig(count <= tokenBudget(stream),
+                      "TDM group count implausible for its line");
         design.zPlan.groups.resize(count);
         for (TdmGroup &g : design.zPlan.groups) {
             std::size_t size = 0;
             requireConfig(static_cast<bool>(stream >> g.fanout >> size),
                           "TDM group truncated");
+            requireConfig(size <= tokenBudget(stream),
+                          "TDM group size implausible for its line");
             g.devices.resize(size);
             for (std::size_t &d : g.devices)
                 requireConfig(static_cast<bool>(stream >> d),

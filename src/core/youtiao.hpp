@@ -17,12 +17,48 @@
 #define YOUTIAO_CORE_YOUTIAO_HPP
 
 #include "chip/topology.hpp"
+#include "common/expected.hpp"
 #include "common/prng.hpp"
 #include "core/config.hpp"
 #include "noise/crosstalk_data.hpp"
 #include "sim/fidelity_estimator.hpp"
 
 namespace youtiao {
+
+/**
+ * What the degradation ladder had to give up to finish a design. Empty
+ * on a clean run; surfaced by youtiao_cli and the report writer, and
+ * reproducible bit for bit from a fault spec + seed.
+ */
+struct DegradationReport
+{
+    /** Ideal-chip qubit indices excluded as dead (set by callers that
+     *  applied ChipDefects before designing, e.g. the fault campaign). */
+    std::vector<std::size_t> excludedQubits;
+    /** Ideal-chip coupler indices excluded as broken. */
+    std::vector<std::size_t> excludedCouplers;
+    /** Grouping+allocation attempts consumed (1 = first try worked). */
+    std::size_t allocationAttempts = 1;
+    /** FDM line capacity the successful attempt used (0 = configured). */
+    std::size_t fdmCapacityUsed = 0;
+    /** Devices moved to dedicated Z lines over broken DEMUX channels. */
+    std::size_t demuxFallbackDevices = 0;
+    /** Nets re-routed as dedicated lines after rip-up retries failed. */
+    std::size_t dedicatedNetFallbacks = 0;
+    /** Cost of the degraded design minus the undegraded estimate (USD);
+     *  0 when nothing degraded. */
+    double costDeltaUsd = 0.0;
+    /** Allocation objective of the shipped plan (diagnostic; compare
+     *  against an undegraded run to bound the fidelity impact). */
+    double residualCrosstalkCost = 0.0;
+    /** Human-readable ladder steps, in the order they happened. */
+    std::vector<std::string> notes;
+
+    bool empty() const;
+
+    /** Text block appended to wiring reports ("-- degradation --"). */
+    std::string summary() const;
+};
 
 /** Everything the pipeline produces for one chip. */
 struct YoutiaoDesign
@@ -47,6 +83,9 @@ struct YoutiaoDesign
     /** Resource tally + cost. */
     WiringCounts counts;
     double costUsd = 0.0;
+    /** What the robust pipeline gave up (empty on clean runs and on
+     *  designs produced by the throwing entry points). */
+    DegradationReport degradation;
 };
 
 /** The pipeline. */
@@ -84,6 +123,32 @@ class YoutiaoDesigner
                                          double w_phy = 0.6) const;
 
     /**
+     * Graceful-degradation variants: instead of throwing on the first
+     * infeasible stage, these walk the degradation ladder (partition
+     * falls back to a single region, infeasible allocations retry with
+     * shrunken group sizes and seeded perturbation under
+     * RobustnessConfig::maxAllocationAttempts, broken DEMUX channels
+     * strand their device onto a dedicated line) and record every
+     * concession in the design's DegradationReport. When nothing fails
+     * the result is bit-identical to the throwing entry points. A chip
+     * no ladder step can rescue yields a structured DesignError --
+     * these functions do not throw on bad inputs.
+     */
+    Expected<YoutiaoDesign, DesignError>
+    designRobust(const ChipTopology &chip,
+                 const ChipCharacterization &data) const;
+
+    Expected<YoutiaoDesign, DesignError>
+    designWithModelsRobust(const ChipTopology &chip,
+                           const CrosstalkModel &xy_model,
+                           const CrosstalkModel &zz_model) const;
+
+    Expected<YoutiaoDesign, DesignError>
+    designFromMeasurementsRobust(const ChipTopology &chip,
+                                 const ChipCharacterization &data,
+                                 double w_phy = 0.6) const;
+
+    /**
      * Build the fidelity-estimation context for a finished design
      * (uses the design's frequency allocation, FDM lines and the
      * characterization's true crosstalk when provided, else predictions).
@@ -96,6 +161,12 @@ class YoutiaoDesigner
                                SymmetricMatrix predicted_xy,
                                SymmetricMatrix predicted_zz, double w_phy,
                                YoutiaoDesign out) const;
+
+    Expected<YoutiaoDesign, DesignError>
+    finishDesignRobust(const ChipTopology &chip,
+                       SymmetricMatrix predicted_xy,
+                       SymmetricMatrix predicted_zz, double w_phy,
+                       YoutiaoDesign out) const;
 
     YoutiaoConfig config_;
 };

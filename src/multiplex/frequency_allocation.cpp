@@ -120,6 +120,18 @@ qubitCost(std::size_t q, double f, const std::vector<double> &freq,
     return cost;
 }
 
+/** True when @p f_ghz falls in a masked slice of the band. */
+bool
+isMasked(double f_ghz,
+         const std::vector<std::pair<double, double>> &masks)
+{
+    for (const auto &[lo, hi] : masks) {
+        if (f_ghz >= lo && f_ghz < hi)
+            return true;
+    }
+    return false;
+}
+
 } // namespace
 
 double
@@ -182,17 +194,25 @@ allocateFrequencies(const FdmPlan &plan,
             const std::size_t zone = k % out.zoneCount;
             double best_cost = std::numeric_limits<double>::infinity();
             std::size_t best_cell = 0;
+            bool have_cell = false;
             for (std::size_t cell = 0; cell < cells_per_zone; ++cell) {
                 const double f = cellFrequency(zone, cell, config.loGHz,
                                                zone_width, cell_ghz);
+                if (isMasked(f, config.maskedBandsGHz))
+                    continue;
                 const double cost = qubitCost(q, f, out.frequencyGHz,
                                               allocated, neighborhood,
                                               noise);
                 if (cost < best_cost) {
                     best_cost = cost;
                     best_cell = cell;
+                    have_cell = true;
                 }
             }
+            requireConfig(have_cell,
+                          "frequency allocation infeasible: every cell "
+                          "of zone " + std::to_string(zone) +
+                              " is masked");
             out.zoneOfQubit[q] = zone;
             out.cellOfQubit[q] = best_cell;
             out.frequencyGHz[q] = cellFrequency(zone, best_cell,
@@ -305,7 +325,8 @@ allocateFrequenciesConstrained(const FdmPlan &plan,
                                  (static_cast<double>(cell) + 0.5) *
                                      cell_ghz;
                 if (f < config.loGHz || f > config.hiGHz ||
-                    std::abs(f - base) > max_retune_ghz)
+                    std::abs(f - base) > max_retune_ghz ||
+                    isMasked(f, config.maskedBandsGHz))
                     continue;
                 const double cost = qubitCost(q, f, out.frequencyGHz,
                                               allocated, neighborhood,

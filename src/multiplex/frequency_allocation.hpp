@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -51,6 +52,15 @@ struct FrequencyAllocationConfig
      * kFastAllocationEpsilon for the tested fast setting.
      */
     double sparseEpsilon = 0.0;
+    /**
+     * Unusable slices of the band as [lo, hi) GHz pairs (TWPA dips,
+     * package resonances, defect masks -- see chip/defects.hpp). Cells
+     * whose centre frequency lands in a masked slice are never
+     * assigned; a qubit left with no usable cell makes the allocation
+     * infeasible (ConfigError), which the designer's degradation ladder
+     * answers by shrinking group sizes. Empty = whole band usable.
+     */
+    std::vector<std::pair<double, double>> maskedBandsGHz;
 };
 
 /**

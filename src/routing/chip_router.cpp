@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
@@ -197,6 +198,9 @@ routeOnce(const ChipTopology &chip, const std::vector<NetSpec> &nets,
         grid.blockSquare(q.position, config.grid.devicePadMm);
     for (const CouplerInfo &c : chip.couplers())
         grid.blockSquare(c.position, config.grid.devicePadMm * 0.5);
+    // Defect keep-outs (packaging flaws) are permanent obstacles.
+    for (const Point &p : config.blockedCells)
+        grid.blockSquare(p, config.blockedHalfWidthMm);
 
     // Interface slots along the expanded grid border. Dense chips shrink
     // the pad pitch so the perimeter can host one interface per net
@@ -270,6 +274,13 @@ routeOnce(const ChipTopology &chip, const std::vector<NetSpec> &nets,
         grid.setOwner(iface, net_id);
         Cell anchor = iface;
         for (const Point &t : tour) {
+            if (fault::site("routing.net")) {
+                // Injected routing failure: this terminal connection is
+                // unroutable, exactly as if A* had exhausted the grid.
+                ++result.failedConnections;
+                net_failed[net_index] = true;
+                continue;
+            }
             const Cell target = grid.cellAt(t);
             const auto path =
                 routeAstar(grid, anchor, target, net_id, arena);
@@ -331,29 +342,43 @@ routeChip(const ChipTopology &chip, const std::vector<NetSpec> &nets,
                                 nets[b].terminals.size();
                      });
 
-    constexpr std::size_t max_attempts = 4;
+    requireConfig(config.maxRetryPasses >= 1,
+                  "ChipRoutingConfig::maxRetryPasses must be >= 1");
     std::vector<bool> net_failed;
+    std::vector<bool> best_failed;
     ChipRoutingResult best;
     bool have_best = false;
+    std::size_t passes_used = 0;
     // One arena serves every A* call across all nets and retry attempts.
     SearchArena arena;
-    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    for (std::size_t attempt = 0; attempt < config.maxRetryPasses;
+         ++attempt) {
         metrics::count("routing.attempts");
+        if (attempt > 0)
+            metrics::count("routing.retry_passes");
         const trace::TraceSpan attempt_span("routing.attempt", "routing");
         ChipRoutingResult result =
             routeOnce(chip, nets, config, order, net_failed, arena);
+        passes_used = attempt + 1;
         if (!have_best ||
             result.failedConnections < best.failedConnections) {
             best = std::move(result);
+            best_failed = net_failed;
             have_best = true;
         }
         if (best.failedConnections == 0)
             break;
-        std::stable_sort(order.begin(), order.end(),
-                         [&net_failed](std::size_t a, std::size_t b) {
-                             return net_failed[a] && !net_failed[b];
-                         });
+        if (config.failedNetFirstReorder) {
+            std::stable_sort(order.begin(), order.end(),
+                             [&net_failed](std::size_t a, std::size_t b) {
+                                 return net_failed[a] && !net_failed[b];
+                             });
+        }
     }
+    best.retryPasses = passes_used;
+    for (std::size_t i = 0; i < best_failed.size(); ++i)
+        if (best_failed[i])
+            best.failedNets.push_back(i);
     metrics::count("routing.nets_routed", best.netCount);
     metrics::count("routing.failed_connections", best.failedConnections);
     metrics::count("routing.crossovers", best.crossovers.size());
@@ -363,6 +388,48 @@ routeChip(const ChipTopology &chip, const std::vector<NetSpec> &nets,
                {"crossovers", best.crossovers.size()},
                {"length_mm", best.totalLengthMm}});
     return best;
+}
+
+RoutedWiring
+routeChipWithFallback(const ChipTopology &chip,
+                      const std::vector<NetSpec> &nets,
+                      const ChipRoutingConfig &config)
+{
+    RoutedWiring routed;
+    routed.result = routeChip(chip, nets, config);
+    if (routed.result.failedNets.empty())
+        return routed;
+
+    // Last rung of the ladder: every net that survived all retry passes
+    // with failures loses its trunk and wires each terminal on its own
+    // dedicated line. Dedicated stubs are short and route first under
+    // the shortest-net-first ordering, so the expanded list is strictly
+    // easier than the one that failed.
+    routed.fallbackNets = routed.result.failedNets;
+    std::vector<bool> split(nets.size(), false);
+    for (std::size_t i : routed.fallbackNets)
+        split[i] = true;
+    std::vector<NetSpec> expanded;
+    expanded.reserve(nets.size());
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        if (!split[i]) {
+            expanded.push_back(nets[i]);
+            continue;
+        }
+        for (const Point &t : nets[i].terminals) {
+            NetSpec dedicated;
+            dedicated.terminals.push_back(t);
+            expanded.push_back(std::move(dedicated));
+            ++routed.dedicatedNetFallbacks;
+        }
+    }
+    metrics::count("routing.dedicated_net_fallbacks",
+                   routed.dedicatedNetFallbacks);
+    log::warn("routing fallback: failed nets split into dedicated lines",
+              {{"failed_nets", routed.fallbackNets.size()},
+               {"dedicated_lines", routed.dedicatedNetFallbacks}});
+    routed.result = routeChip(chip, expanded, config);
+    return routed;
 }
 
 } // namespace youtiao

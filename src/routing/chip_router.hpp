@@ -35,6 +35,28 @@ struct ChipRoutingConfig
     RoutingGridConfig grid;
     /** Interface pad width on the perimeter (mm); paper: ~0.5 mm. */
     double interfaceSpacingMm = 0.5;
+    /**
+     * Rip-up-and-retry passes (>= 1, validated by routeChip). Pass 1 is
+     * the initial route; each later pass re-routes everything with the
+     * previous pass's failed nets handled first. Retries consumed are
+     * reported in ChipRoutingResult::retryPasses and counted by the
+     * `routing.retry_passes` metric.
+     */
+    std::size_t maxRetryPasses = 4;
+    /**
+     * Promote failed nets to the front of the ordering between passes
+     * (deterministic stable reorder). Off = retry with the original
+     * shortest-first order, useful for ablating the reorder heuristic.
+     */
+    bool failedNetFirstReorder = true;
+    /**
+     * Extra keep-out squares blocked before any net routes (packaging
+     * flaws; fed from ChipDefects::blockedRoutingCells). Wires detour
+     * around them or fail into the retry/fallback ladder.
+     */
+    std::vector<Point> blockedCells;
+    /** Halfwidth of each blocked square (mm). */
+    double blockedHalfWidthMm = 0.1;
 };
 
 /** Aggregate routing metrics. */
@@ -43,6 +65,10 @@ struct ChipRoutingResult
     std::size_t netCount = 0;
     /** Terminal connections the router could not complete. */
     std::size_t failedConnections = 0;
+    /** Indices of nets with at least one failed connection (ascending). */
+    std::vector<std::size_t> failedNets;
+    /** Routing passes consumed (1 = first pass routed everything). */
+    std::size_t retryPasses = 0;
     /** Total new metal length (mm). */
     double totalLengthMm = 0.0;
     /** Routing area: length x line pitch (mm^2). */
@@ -71,6 +97,29 @@ std::vector<NetSpec> buildWiringNets(const ChipTopology &chip,
 ChipRoutingResult routeChip(const ChipTopology &chip,
                             const std::vector<NetSpec> &nets,
                             const ChipRoutingConfig &config = {});
+
+/** routeChip plus the degradation ladder's last routing resort. */
+struct RoutedWiring
+{
+    /** Final routing (after the fallback re-route when one happened). */
+    ChipRoutingResult result;
+    /** Original net indices split into dedicated per-terminal lines. */
+    std::vector<std::size_t> fallbackNets;
+    /** Dedicated lines created by the fallback (= extra interfaces). */
+    std::size_t dedicatedNetFallbacks = 0;
+};
+
+/**
+ * Route @p nets; if nets still fail after routeChip's retry passes,
+ * split each failed multi-terminal net into one dedicated net per
+ * terminal (every terminal gets its own perimeter interface -- the
+ * no-multiplexing wiring the trunk was supposed to replace) and route
+ * the expanded net list once more. Deterministic; never throws beyond
+ * routeChip's own config validation.
+ */
+RoutedWiring routeChipWithFallback(const ChipTopology &chip,
+                                   const std::vector<NetSpec> &nets,
+                                   const ChipRoutingConfig &config = {});
 
 } // namespace youtiao
 

@@ -1,0 +1,154 @@
+// ChipDefects: seeded random generation and degraded-chip construction.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "chip/defects.hpp"
+#include "chip/topology_builder.hpp"
+#include "common/error.hpp"
+
+namespace youtiao {
+namespace {
+
+ChipTopology
+grid(std::size_t rows, std::size_t cols)
+{
+    return makeTopology(TopologyFamily::SquareGrid, rows, cols);
+}
+
+TEST(Defects, RandomDefectsAreDeterministic)
+{
+    const ChipTopology chip = grid(6, 6);
+    const DefectRates rates = uniformDefectRates(0.2);
+    const ChipDefects a = randomDefects(chip, rates, 11);
+    const ChipDefects b = randomDefects(chip, rates, 11);
+    EXPECT_EQ(a.deadQubits, b.deadQubits);
+    EXPECT_EQ(a.brokenCouplers, b.brokenCouplers);
+    ASSERT_EQ(a.maskedBandsGHz.size(), b.maskedBandsGHz.size());
+    for (std::size_t i = 0; i < a.maskedBandsGHz.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.maskedBandsGHz[i].loGHz,
+                         b.maskedBandsGHz[i].loGHz);
+        EXPECT_DOUBLE_EQ(a.maskedBandsGHz[i].hiGHz,
+                         b.maskedBandsGHz[i].hiGHz);
+    }
+    const ChipDefects c = randomDefects(chip, rates, 12);
+    const bool different = a.deadQubits != c.deadQubits ||
+                           a.brokenCouplers != c.brokenCouplers ||
+                           a.maskedBandsGHz.size() !=
+                               c.maskedBandsGHz.size() ||
+                           a.blockedRoutingCells.size() !=
+                               c.blockedRoutingCells.size();
+    EXPECT_TRUE(different);
+}
+
+TEST(Defects, ZeroRateMeansNoDefects)
+{
+    const ChipTopology chip = grid(5, 5);
+    const ChipDefects defects =
+        randomDefects(chip, uniformDefectRates(0.0), 3);
+    EXPECT_TRUE(defects.empty());
+}
+
+TEST(Defects, RatesOutsideUnitIntervalRejected)
+{
+    EXPECT_THROW(uniformDefectRates(-0.1), ConfigError);
+    EXPECT_THROW(uniformDefectRates(1.1), ConfigError);
+}
+
+TEST(Defects, DefectIndicesAreSortedUniqueAndInRange)
+{
+    const ChipTopology chip = grid(8, 8);
+    const ChipDefects defects =
+        randomDefects(chip, uniformDefectRates(0.3), 99);
+    EXPECT_TRUE(std::is_sorted(defects.deadQubits.begin(),
+                               defects.deadQubits.end()));
+    EXPECT_TRUE(std::is_sorted(defects.brokenCouplers.begin(),
+                               defects.brokenCouplers.end()));
+    const std::set<std::size_t> dead(defects.deadQubits.begin(),
+                                     defects.deadQubits.end());
+    EXPECT_EQ(dead.size(), defects.deadQubits.size());
+    for (std::size_t q : defects.deadQubits)
+        EXPECT_LT(q, chip.qubitCount());
+    for (std::size_t c : defects.brokenCouplers)
+        EXPECT_LT(c, chip.couplerCount());
+}
+
+TEST(Defects, ApplyRemovesDeadQubitsAndTheirCouplers)
+{
+    const ChipTopology chip = grid(4, 4);
+    ChipDefects defects;
+    defects.deadQubits = {5};
+    const DegradedChip degraded = applyDefects(chip, defects);
+    EXPECT_EQ(degraded.chip.qubitCount(), chip.qubitCount() - 1);
+    // Every coupler touching qubit 5 is gone.
+    std::size_t touching = 0;
+    for (const CouplerInfo &c : chip.couplers())
+        if (c.qubitA == 5 || c.qubitB == 5)
+            ++touching;
+    EXPECT_EQ(degraded.chip.couplerCount(),
+              chip.couplerCount() - touching);
+    EXPECT_EQ(degraded.removedCouplers.size(), touching);
+    // Index maps round-trip.
+    ASSERT_EQ(degraded.newIndexOfQubit.size(), chip.qubitCount());
+    ASSERT_EQ(degraded.oldIndexOfQubit.size(),
+              degraded.chip.qubitCount());
+    for (std::size_t old = 0; old < chip.qubitCount(); ++old) {
+        const std::size_t now = degraded.newIndexOfQubit[old];
+        if (old == 5) {
+            EXPECT_EQ(now, ChipTopology::npos);
+        } else {
+            ASSERT_LT(now, degraded.chip.qubitCount());
+            EXPECT_EQ(degraded.oldIndexOfQubit[now], old);
+            // Positions survive the renumbering.
+            EXPECT_DOUBLE_EQ(degraded.chip.qubits()[now].position.x,
+                             chip.qubits()[old].position.x);
+            EXPECT_DOUBLE_EQ(degraded.chip.qubits()[now].position.y,
+                             chip.qubits()[old].position.y);
+        }
+    }
+}
+
+TEST(Defects, ApplyRemovesBrokenCouplersKeepingQubits)
+{
+    const ChipTopology chip = grid(4, 4);
+    ChipDefects defects;
+    defects.brokenCouplers = {0, 3};
+    const DegradedChip degraded = applyDefects(chip, defects);
+    EXPECT_EQ(degraded.chip.qubitCount(), chip.qubitCount());
+    EXPECT_EQ(degraded.chip.couplerCount(), chip.couplerCount() - 2);
+    EXPECT_EQ(degraded.removedCouplers, (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(Defects, ApplyRejectsOutOfRangeAndAllDead)
+{
+    const ChipTopology chip = grid(2, 2);
+    {
+        ChipDefects defects;
+        defects.deadQubits = {99};
+        EXPECT_THROW(applyDefects(chip, defects), ConfigError);
+    }
+    {
+        ChipDefects defects;
+        defects.brokenCouplers = {99};
+        EXPECT_THROW(applyDefects(chip, defects), ConfigError);
+    }
+    {
+        ChipDefects defects;
+        defects.deadQubits = {0, 1, 2, 3};
+        EXPECT_THROW(applyDefects(chip, defects), ConfigError);
+    }
+}
+
+TEST(Defects, EmptyDefectsReproduceTheChip)
+{
+    const ChipTopology chip = grid(3, 3);
+    const DegradedChip degraded = applyDefects(chip, ChipDefects{});
+    EXPECT_EQ(degraded.chip.qubitCount(), chip.qubitCount());
+    EXPECT_EQ(degraded.chip.couplerCount(), chip.couplerCount());
+    EXPECT_TRUE(degraded.removedCouplers.empty());
+}
+
+} // namespace
+} // namespace youtiao

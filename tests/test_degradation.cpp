@@ -1,0 +1,212 @@
+// Graceful degradation through the robust design pipeline: the clean
+// path is bit-identical to the throwing entry points, every ladder rung
+// produces a usable design with an honest DegradationReport, and
+// exhaustion yields a structured DesignError instead of a crash.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "chip/topology_builder.hpp"
+#include "common/fault.hpp"
+#include "common/prng.hpp"
+#include "core/serialization.hpp"
+#include "core/youtiao.hpp"
+#include "multiplex/tdm.hpp"
+#include "noise/crosstalk_data.hpp"
+
+namespace youtiao {
+namespace {
+
+class DegradationTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::reset(); }
+
+    static ChipTopology
+    grid(std::size_t rows, std::size_t cols)
+    {
+        return makeTopology(TopologyFamily::SquareGrid, rows, cols);
+    }
+
+    static ChipCharacterization
+    characterize(const ChipTopology &chip, std::uint64_t seed = 7)
+    {
+        Prng prng(seed);
+        return characterizeChip(chip, prng);
+    }
+};
+
+TEST_F(DegradationTest, CleanRobustRunMatchesThrowingPathBitForBit)
+{
+    const ChipTopology chip = grid(5, 5);
+    const ChipCharacterization data = characterize(chip);
+    YoutiaoConfig config;
+    config.fit.forest.treeCount = 10;
+    const YoutiaoDesigner designer(config);
+
+    const YoutiaoDesign plain = designer.design(chip, data);
+    auto robust = designer.designRobust(chip, data);
+    ASSERT_TRUE(robust.hasValue());
+    EXPECT_TRUE(robust.value().degradation.empty());
+    EXPECT_EQ(designToString(plain), designToString(robust.value()));
+}
+
+TEST_F(DegradationTest, CleanMeasurementRobustRunMatchesThrowingPath)
+{
+    // Also across the partitioned regime (36 > threshold 24), so the
+    // generative partition's PRNG consumption is covered too.
+    const ChipTopology chip = grid(6, 6);
+    const ChipCharacterization data = characterize(chip, 11);
+    const YoutiaoDesigner designer;
+    const YoutiaoDesign plain = designer.designFromMeasurements(chip, data);
+    auto robust = designer.designFromMeasurementsRobust(chip, data);
+    ASSERT_TRUE(robust.hasValue());
+    EXPECT_TRUE(robust.value().degradation.empty());
+    EXPECT_EQ(designToString(plain), designToString(robust.value()));
+}
+
+TEST_F(DegradationTest, AllocationFaultWalksTheCapacityLadder)
+{
+    const ChipTopology chip = grid(5, 5);
+    const ChipCharacterization data = characterize(chip);
+    const YoutiaoDesigner designer;
+
+    fault::configure("freq.allocate:0.5:42");
+    fault::enable();
+    auto first = designer.designFromMeasurementsRobust(chip, data);
+    ASSERT_TRUE(first.hasValue());
+
+    fault::reset();
+    fault::configure("freq.allocate:0.5:42");
+    fault::enable();
+    auto second = designer.designFromMeasurementsRobust(chip, data);
+    ASSERT_TRUE(second.hasValue());
+
+    // Same spec + seed => identical fault pattern => identical report
+    // and identical degraded design.
+    EXPECT_EQ(first.value().degradation.summary(),
+              second.value().degradation.summary());
+    EXPECT_EQ(designToString(first.value()),
+              designToString(second.value()));
+    // The 0.5 rate must have cost at least one attempt somewhere in the
+    // budget; when it did, the capacity shrank and the report says so.
+    if (first.value().degradation.allocationAttempts > 1) {
+        EXPECT_GT(first.value().degradation.fdmCapacityUsed, 0u);
+        EXPECT_LT(first.value().degradation.fdmCapacityUsed,
+                  designer.config().fdm.lineCapacity);
+        EXPECT_FALSE(first.value().degradation.notes.empty());
+        EXPECT_FALSE(first.value().degradation.empty());
+    }
+}
+
+TEST_F(DegradationTest, AllocationBudgetExhaustionIsAStructuredError)
+{
+    const ChipTopology chip = grid(4, 4);
+    const ChipCharacterization data = characterize(chip);
+    const YoutiaoDesigner designer;
+    fault::configure("freq.allocate:1.0");
+    fault::enable();
+    auto result = designer.designFromMeasurementsRobust(chip, data);
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().stage, DesignStage::FrequencyAllocation);
+    const std::string text = result.error().toString();
+    EXPECT_NE(text.find("frequency_allocation"), std::string::npos);
+    EXPECT_NE(text.find("attempts="), std::string::npos);
+}
+
+TEST_F(DegradationTest, PartitionFaultFallsBackToSingleRegion)
+{
+    const ChipTopology chip = grid(6, 6); // above the partition threshold
+    const ChipCharacterization data = characterize(chip);
+    const YoutiaoDesigner designer;
+    fault::configure("design.partition:1.0");
+    fault::enable();
+    auto result = designer.designFromMeasurementsRobust(chip, data);
+    ASSERT_TRUE(result.hasValue());
+    EXPECT_EQ(result.value().partition.regions.size(), 1u);
+    EXPECT_FALSE(result.value().degradation.notes.empty());
+    EXPECT_FALSE(result.value().degradation.empty());
+}
+
+TEST_F(DegradationTest, TdmFaultFallsBackToDedicatedZLines)
+{
+    const ChipTopology chip = grid(4, 4);
+    const ChipCharacterization data = characterize(chip);
+    const YoutiaoDesigner designer;
+    fault::configure("design.tdm_group:1.0");
+    fault::enable();
+    auto result = designer.designFromMeasurementsRobust(chip, data);
+    ASSERT_TRUE(result.hasValue());
+    for (const TdmGroup &group : result.value().zPlan.groups) {
+        EXPECT_EQ(group.fanout, 1u);
+        EXPECT_EQ(group.devices.size(), 1u);
+    }
+    EXPECT_TRUE(allGatesRealizable(chip, result.value().zPlan));
+    EXPECT_FALSE(result.value().degradation.empty());
+}
+
+TEST_F(DegradationTest, DemuxChannelFaultsStrandDevicesOntoDedicatedLines)
+{
+    const ChipTopology chip = grid(4, 4);
+    const ChipCharacterization data = characterize(chip);
+    const YoutiaoDesigner designer;
+    fault::configure("tdm.demux_channel:1.0");
+    fault::enable();
+    auto result = designer.designFromMeasurementsRobust(chip, data);
+    ASSERT_TRUE(result.hasValue());
+    const YoutiaoDesign &design = result.value();
+    EXPECT_GT(design.degradation.demuxFallbackDevices, 0u);
+    for (const TdmGroup &group : design.zPlan.groups)
+        EXPECT_EQ(group.fanout == 1,
+                  group.devices.size() == 1)
+            << "fanout " << group.fanout << " devices "
+            << group.devices.size();
+    // groupOfDevice stays consistent after the rewiring.
+    for (std::size_t g = 0; g < design.zPlan.groups.size(); ++g)
+        for (std::size_t d : design.zPlan.groups[g].devices)
+            EXPECT_EQ(design.zPlan.groupOfDevice[d], g);
+    EXPECT_TRUE(allGatesRealizable(chip, design.zPlan));
+    // The broken channels cost real hardware.
+    EXPECT_GT(design.degradation.costDeltaUsd, 0.0);
+}
+
+TEST_F(DegradationTest, ReadoutFaultFallsBackToDedicatedFeedlines)
+{
+    const ChipTopology chip = grid(4, 4);
+    const ChipCharacterization data = characterize(chip);
+    const YoutiaoDesigner designer;
+    fault::configure("design.readout:1.0");
+    fault::enable();
+    auto result = designer.designFromMeasurementsRobust(chip, data);
+    ASSERT_TRUE(result.hasValue());
+    for (const auto &line : result.value().readoutPlan.lines)
+        EXPECT_EQ(line.size(), 1u);
+    EXPECT_FALSE(result.value().degradation.empty());
+}
+
+TEST_F(DegradationTest, MismatchedCharacterizationIsAValidationError)
+{
+    const ChipTopology chip = grid(3, 3);
+    const ChipCharacterization wrong; // empty matrices
+    const YoutiaoDesigner designer;
+    auto result = designer.designFromMeasurementsRobust(chip, wrong);
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().stage, DesignStage::Validation);
+}
+
+TEST_F(DegradationTest, DegradationSummaryOnlyPrintsWhenNonEmpty)
+{
+    DegradationReport report;
+    EXPECT_TRUE(report.empty());
+    report.demuxFallbackDevices = 2;
+    report.costDeltaUsd = 123.456;
+    EXPECT_FALSE(report.empty());
+    const std::string text = report.summary();
+    EXPECT_NE(text.find("-- degradation --"), std::string::npos);
+    EXPECT_NE(text.find("demux fallback devices 2"), std::string::npos);
+    EXPECT_NE(text.find("+123.46 USD"), std::string::npos);
+}
+
+} // namespace
+} // namespace youtiao

@@ -1,0 +1,165 @@
+// Fault-injection layer: spec grammar, deterministic firing, and the
+// disabled fast path.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
+namespace youtiao {
+namespace {
+
+// Every test leaves the global fault state clean so the rest of the
+// suite (and other tests in this binary) runs fault-free.
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::reset(); }
+};
+
+TEST_F(FaultTest, DisabledSiteNeverFires)
+{
+    fault::reset();
+    EXPECT_FALSE(fault::enabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(fault::site("freq.allocate"));
+}
+
+TEST_F(FaultTest, ConfigureDoesNotEnable)
+{
+    fault::configure("freq.allocate:1.0");
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(fault::site("freq.allocate"));
+    fault::enable();
+    EXPECT_TRUE(fault::enabled());
+    EXPECT_TRUE(fault::site("freq.allocate"));
+}
+
+TEST_F(FaultTest, RateOneAlwaysFiresRateZeroNever)
+{
+    fault::configure("freq.allocate:1.0,routing.net:0.0");
+    fault::enable();
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(fault::site("freq.allocate"));
+        EXPECT_FALSE(fault::site("routing.net"));
+    }
+}
+
+TEST_F(FaultTest, UnconfiguredSiteNeverFiresWhileEnabled)
+{
+    fault::configure("freq.allocate:1.0");
+    fault::enable();
+    EXPECT_FALSE(fault::site("design.partition"));
+    EXPECT_FALSE(fault::site("chip.load_coupler"));
+}
+
+TEST_F(FaultTest, FiringPatternIsDeterministic)
+{
+    auto pattern = [](const std::string &spec) {
+        fault::reset();
+        fault::configure(spec);
+        fault::enable();
+        std::vector<bool> fired;
+        for (int i = 0; i < 200; ++i)
+            fired.push_back(fault::site("routing.net"));
+        return fired;
+    };
+    const auto a = pattern("routing.net:0.3:42");
+    const auto b = pattern("routing.net:0.3:42");
+    EXPECT_EQ(a, b);
+    // A different seed decorrelates the stream.
+    const auto c = pattern("routing.net:0.3:43");
+    EXPECT_NE(a, c);
+}
+
+TEST_F(FaultTest, RateIsApproximatelyHonored)
+{
+    fault::configure("routing.net:0.25:7");
+    fault::enable();
+    int fires = 0;
+    const int hits = 4000;
+    for (int i = 0; i < hits; ++i)
+        fires += fault::site("routing.net") ? 1 : 0;
+    EXPECT_GT(fires, hits / 8);
+    EXPECT_LT(fires, hits / 2);
+}
+
+TEST_F(FaultTest, StatsCountHitsAndFires)
+{
+    fault::configure("freq.allocate:1.0:9");
+    fault::enable();
+    for (int i = 0; i < 10; ++i)
+        (void)fault::site("freq.allocate");
+    const auto stats = fault::stats();
+    ASSERT_EQ(stats.count("freq.allocate"), 1u);
+    const fault::SiteStats &s = stats.at("freq.allocate");
+    EXPECT_EQ(s.hits, 10u);
+    EXPECT_EQ(s.fires, 10u);
+    EXPECT_DOUBLE_EQ(s.rate, 1.0);
+    EXPECT_EQ(s.seed, 9u);
+}
+
+TEST_F(FaultTest, DefaultRateIsOneDefaultSeedZero)
+{
+    fault::configure("design.readout");
+    const auto stats = fault::stats();
+    ASSERT_EQ(stats.count("design.readout"), 1u);
+    EXPECT_DOUBLE_EQ(stats.at("design.readout").rate, 1.0);
+    EXPECT_EQ(stats.at("design.readout").seed, 0u);
+}
+
+TEST_F(FaultTest, MalformedSpecsAreRejected)
+{
+    EXPECT_THROW(fault::configure("not.a.site"), ConfigError);
+    EXPECT_THROW(fault::configure("freq.allocate:nope"), ConfigError);
+    EXPECT_THROW(fault::configure("freq.allocate:1.5"), ConfigError);
+    EXPECT_THROW(fault::configure("freq.allocate:-0.1"), ConfigError);
+    EXPECT_THROW(fault::configure("freq.allocate:0.5:abc"), ConfigError);
+    EXPECT_THROW(fault::configure("freq.allocate:0.5:1:extra"),
+                 ConfigError);
+    EXPECT_THROW(fault::configure("freq.allocate,freq.allocate"),
+                 ConfigError);
+    EXPECT_THROW(fault::configure(","), ConfigError);
+}
+
+TEST_F(FaultTest, EmptySpecClearsConfiguration)
+{
+    fault::configure("freq.allocate:1.0");
+    fault::enable();
+    fault::configure("");
+    fault::enable();
+    EXPECT_FALSE(fault::site("freq.allocate"));
+    EXPECT_TRUE(fault::stats().empty());
+}
+
+TEST_F(FaultTest, CatalogIsSortedAndQueryable)
+{
+    const auto &catalog = fault::siteCatalog();
+    ASSERT_FALSE(catalog.empty());
+    EXPECT_TRUE(std::is_sorted(catalog.begin(), catalog.end()));
+    for (const std::string &name : catalog)
+        EXPECT_TRUE(fault::isKnownSite(name)) << name;
+    EXPECT_FALSE(fault::isKnownSite("definitely.not.a.site"));
+    // Every documented site the pipeline uses must be cataloged.
+    for (const char *name :
+         {"chip.load_coupler", "design.partition", "design.fdm_group",
+          "design.tdm_group", "design.readout", "freq.allocate",
+          "routing.net", "tdm.demux_channel"})
+        EXPECT_TRUE(fault::isKnownSite(name)) << name;
+}
+
+TEST_F(FaultTest, ResetDisablesAndClears)
+{
+    fault::configure("freq.allocate:1.0");
+    fault::enable();
+    fault::reset();
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_TRUE(fault::stats().empty());
+}
+
+} // namespace
+} // namespace youtiao

@@ -1,0 +1,155 @@
+// Fault-campaign harness: deterministic sweeps, the never-crash
+// accounting property, and the JSON record schema.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "chip/topology_builder.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/json.hpp"
+#include "core/fault_campaign.hpp"
+
+namespace youtiao {
+namespace {
+
+ChipTopology
+smallChip()
+{
+    return makeTopology(TopologyFamily::SquareGrid, 4, 4);
+}
+
+FaultCampaignConfig
+smallConfig()
+{
+    FaultCampaignConfig config;
+    config.defectRates = {0.0, 0.08};
+    config.seedsPerRate = 2;
+    config.baseSeed = 404;
+    // Routing dominates runtime; only the accounting test pays for it.
+    config.route = false;
+    return config;
+}
+
+TEST(FaultCampaign, ValidatesConfiguration)
+{
+    const ChipTopology chip = smallChip();
+    {
+        FaultCampaignConfig config = smallConfig();
+        config.defectRates.clear();
+        EXPECT_THROW(runFaultCampaign(chip, config), ConfigError);
+    }
+    {
+        FaultCampaignConfig config = smallConfig();
+        config.defectRates = {1.5};
+        EXPECT_THROW(runFaultCampaign(chip, config), ConfigError);
+    }
+    {
+        FaultCampaignConfig config = smallConfig();
+        config.seedsPerRate = 0;
+        EXPECT_THROW(runFaultCampaign(chip, config), ConfigError);
+    }
+    {
+        FaultCampaignConfig config = smallConfig();
+        config.faultSpec = "no.such.site:0.5";
+        EXPECT_THROW(runFaultCampaign(chip, config), ConfigError);
+    }
+}
+
+TEST(FaultCampaign, EveryRunIsAccountedFor)
+{
+    const ChipTopology chip = smallChip();
+    FaultCampaignConfig config = smallConfig();
+    config.defectRates = {0.0, 0.05, 0.15};
+    config.route = true;
+    config.faultSpec = "freq.allocate:0.3:5,tdm.demux_channel:0.2:9";
+    const FaultCampaignSummary summary = runFaultCampaign(chip, config);
+    ASSERT_EQ(summary.runs.size(), 6u);
+    EXPECT_TRUE(summary.allRunsAccounted());
+    EXPECT_EQ(summary.okCount + summary.failedCount,
+              summary.runs.size());
+    for (const FaultCampaignRun &run : summary.runs) {
+        if (run.ok) {
+            EXPECT_TRUE(!run.routed || run.drcClean);
+            EXPECT_GT(run.costUsd, 0.0);
+        } else {
+            EXPECT_FALSE(run.error.empty());
+        }
+    }
+}
+
+TEST(FaultCampaign, SweepIsDeterministic)
+{
+    const ChipTopology chip = smallChip();
+    FaultCampaignConfig config = smallConfig();
+    config.faultSpec = "freq.allocate:0.4:21";
+    const FaultCampaignSummary a = runFaultCampaign(chip, config);
+    const FaultCampaignSummary b = runFaultCampaign(chip, config);
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
+TEST(FaultCampaign, ZeroRateRunsAreCleanAndUndegraded)
+{
+    const ChipTopology chip = smallChip();
+    FaultCampaignConfig config = smallConfig();
+    config.defectRates = {0.0};
+    const FaultCampaignSummary summary = runFaultCampaign(chip, config);
+    EXPECT_EQ(summary.okCount, summary.runs.size());
+    EXPECT_EQ(summary.degradedCount, 0u);
+    EXPECT_EQ(summary.drcViolationCount, 0u);
+    for (const FaultCampaignRun &run : summary.runs) {
+        EXPECT_EQ(run.deadQubits, 0u);
+        EXPECT_EQ(run.brokenCouplers, 0u);
+        EXPECT_TRUE(run.degradation.empty());
+    }
+}
+
+TEST(FaultCampaign, JsonRecordParsesAndCarriesTheSchema)
+{
+    const ChipTopology chip = smallChip();
+    FaultCampaignConfig config = smallConfig();
+    config.faultSpec = "design.tdm_group:0.5:3";
+    const FaultCampaignSummary summary = runFaultCampaign(chip, config);
+
+    const json::Value root =
+        json::parse(summary.toJson(), "fault campaign");
+    EXPECT_EQ(root.field("schema").asString("schema"),
+              "youtiao-fault-campaign-1");
+    EXPECT_EQ(root.field("qubits").asNumber("qubits"), 16.0);
+    EXPECT_EQ(root.field("rates").asArray("rates").size(),
+              config.defectRates.size());
+
+    const auto &runs = root.field("runs").asArray("runs");
+    ASSERT_EQ(runs.size(), summary.runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const json::Value &run = runs[i];
+        EXPECT_EQ(run.field("ok").boolean, summary.runs[i].ok);
+        EXPECT_EQ(run.field("drc_clean").boolean,
+                  summary.runs[i].drcClean);
+        EXPECT_EQ(run.field("error").asString("error"),
+                  summary.runs[i].error);
+        EXPECT_EQ(static_cast<std::size_t>(
+                      run.field("dead_qubits").asNumber("dead_qubits")),
+                  summary.runs[i].deadQubits);
+    }
+
+    const json::Value &tail = root.field("summary");
+    EXPECT_EQ(static_cast<std::size_t>(
+                  tail.field("runs").asNumber("runs")),
+              summary.runs.size());
+    EXPECT_TRUE(tail.field("all_accounted").boolean);
+}
+
+TEST(FaultCampaign, CampaignLeavesFaultInjectionDisarmed)
+{
+    const ChipTopology chip = smallChip();
+    FaultCampaignConfig config = smallConfig();
+    config.faultSpec = "freq.allocate:1.0";
+    (void)runFaultCampaign(chip, config);
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_TRUE(fault::stats().empty());
+}
+
+} // namespace
+} // namespace youtiao

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "chip/topology_builder.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/prng.hpp"
@@ -233,6 +234,53 @@ TEST(ParallelDeterminism, TracedAndLoggedDesignBitIdenticalToBare)
     }
     EXPECT_GT(log_lines, 0u);
     ThreadPool::setGlobalThreadCount(0);
+}
+
+TEST(ParallelDeterminism, ZeroFaultRobustPathBitIdenticalAcrossThreads)
+{
+    // With the fault layer compiled in but unarmed, the robust entry
+    // point must serialize byte for byte like the throwing path at
+    // every thread count.
+    fault::reset();
+    const ChipTopology chip = makeSquareGrid(4, 4);
+    Prng prng(21);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    const YoutiaoDesigner designer;
+    auto designText = [&] {
+        auto result = designer.designFromMeasurementsRobust(chip, data);
+        EXPECT_TRUE(result.hasValue());
+        EXPECT_TRUE(result.value().degradation.empty());
+        return designToString(result.value());
+    };
+    const auto runs = resultsAtThreadCounts({1, 4}, designText);
+    EXPECT_EQ(runs[0],
+              designToString(designer.designFromMeasurements(chip, data)));
+    EXPECT_EQ(runs[1], runs[0]);
+}
+
+TEST(ParallelDeterminism, FixedFaultSpecReproducesTheDegradationReport)
+{
+    // A fixed spec + seed is a replayable experiment: the degraded
+    // design and its DegradationReport come out identical run to run.
+    const ChipTopology chip = makeSquareGrid(5, 5);
+    Prng prng(33);
+    const ChipCharacterization data = characterizeChip(chip, prng);
+    const YoutiaoDesigner designer;
+    auto degradedRun = [&] {
+        fault::reset();
+        fault::configure(
+            "freq.allocate:0.5:77,tdm.demux_channel:0.4:5");
+        fault::enable();
+        auto result = designer.designFromMeasurementsRobust(chip, data);
+        fault::reset();
+        EXPECT_TRUE(result.hasValue());
+        return designToString(result.value()) + "\n===\n" +
+               result.value().degradation.summary();
+    };
+    const std::string first = degradedRun();
+    const std::string second = degradedRun();
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first.find("-- degradation --"), std::string::npos);
 }
 
 } // namespace

@@ -131,6 +131,38 @@ TEST(Transpiler, FinalLayoutIsPermutation)
     }
 }
 
+TEST(Transpiler, DisconnectedChipRaisesTypedError)
+{
+    // Two isolated pairs: no swap chain can connect them.
+    ChipTopology chip("split");
+    chip.addQubit({{0.0, 0.0}});
+    chip.addQubit({{1.0, 0.0}});
+    chip.addQubit({{10.0, 0.0}});
+    chip.addQubit({{11.0, 0.0}});
+    chip.addCoupler(0, 1);
+    chip.addCoupler(2, 3);
+
+    QuantumCircuit qc(4);
+    qc.cnot(0, 1); // routable, so the failing gate has index 1
+    qc.cnot(0, 2); // crosses the gap
+    try {
+        transpile(qc, chip);
+        FAIL() << "expected TranspileError";
+    } catch (const TranspileError &e) {
+        EXPECT_EQ(e.gateKind(), GateKind::CNOT);
+        EXPECT_EQ(e.gateIndex(), 1u);
+        EXPECT_EQ(e.logicalQubit0(), 0u);
+        EXPECT_EQ(e.logicalQubit1(), 2u);
+        EXPECT_NE(e.physicalQubit0(), e.physicalQubit1());
+        const std::string what = e.what();
+        EXPECT_NE(what.find("gate #1"), std::string::npos);
+        EXPECT_NE(what.find("disconnected"), std::string::npos);
+    }
+    // Still catchable as the base ConfigError for callers that do not
+    // care about operands.
+    EXPECT_THROW(transpile(qc, chip), ConfigError);
+}
+
 TEST(Transpiler, MeasureMappedToPhysical)
 {
     const ChipTopology chip = makeSquareGrid(1, 2);

@@ -5,7 +5,7 @@
  *   youtiao_cli [--topology NAME] [--rows N] [--cols N] [--seed S]
  *               [--capacity K] [--theta T] [--compare] [--profile]
  *               [--repeat N] [--route] [--trace FILE]
- *               [--log-level LEVEL]
+ *               [--inject-faults SPEC] [--log-level LEVEL]
  *
  * Topologies: square, hexagon, heavy-square, heavy-hexagon, low-density,
  * grid (with --rows/--cols). Prints the full wiring report; --compare
@@ -18,10 +18,17 @@
  * prints a routing summary. --trace FILE records a span timeline of the
  * run as Chrome trace-event JSON (schema "youtiao-trace-1", open in
  * Perfetto or chrome://tracing) and implies --route so the timeline
- * covers per-net routing work. --log-level raises the structured-log
- * threshold (error|warn|info|debug; also YOUTIAO_LOG).
+ * covers per-net routing work. --inject-faults SPEC (also the
+ * YOUTIAO_FAULTS environment variable) arms deterministic fault
+ * injection at the pipeline's named sites -- grammar
+ * site[:rate[:seed]][,...], see docs/FAULT_INJECTION.md; the design
+ * then runs through the graceful-degradation pipeline and any
+ * concessions are appended to the report. --log-level raises the
+ * structured-log threshold (error|warn|info|debug; also YOUTIAO_LOG).
  *
- * Exit codes: 0 success, 1 runtime failure, 2 usage / bad argument.
+ * Exit codes: 0 success, 1 runtime failure (including structured design
+ * failures), 2 usage / bad argument (including chip files that fail to
+ * parse).
  */
 
 #include <algorithm>
@@ -38,6 +45,7 @@
 #include "chip/topology_builder.hpp"
 #include "common/cli_parse.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
@@ -62,7 +70,8 @@ usage(const char *argv0)
         "[--theta T] [--compare]\n"
         "          [--save FILE] [--chip FILE] [--profile] "
         "[--repeat N] [--route]\n"
-        "          [--trace FILE] [--log-level error|warn|info|debug]\n"
+        "          [--trace FILE] [--inject-faults SPEC]\n"
+        "          [--log-level error|warn|info|debug]\n"
         "  --rows/--cols/--capacity take integers >= 1, --theta a "
         "positive number;\n"
         "  --profile appends the per-phase wall-clock table, counters "
@@ -73,9 +82,12 @@ usage(const char *argv0)
         "  --route also routes the wiring nets and prints a summary;\n"
         "  --trace FILE writes a Chrome trace-event timeline of the run "
         "(implies\n"
-        "  --route); --log-level sets the structured-log threshold "
-        "(also the\n"
-        "  YOUTIAO_LOG environment variable)\n",
+        "  --route); --inject-faults arms deterministic fault injection "
+        "(grammar\n"
+        "  site[:rate[:seed]][,...]; also YOUTIAO_FAULTS); --log-level "
+        "sets the\n"
+        "  structured-log threshold (also the YOUTIAO_LOG environment "
+        "variable)\n",
         argv0);
     std::exit(2);
 }
@@ -125,6 +137,7 @@ main(int argc, char **argv)
     std::string save_path;
     std::string chip_path;
     std::string trace_path;
+    std::string fault_spec;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -160,6 +173,8 @@ main(int argc, char **argv)
                 chip_path = next();
             else if (arg == "--trace")
                 trace_path = next();
+            else if (arg == "--inject-faults")
+                fault_spec = next();
             else if (arg == "--log-level") {
                 const char *name = next();
                 if (!log::setLevelByName(name)) {
@@ -169,6 +184,14 @@ main(int argc, char **argv)
                 }
             } else
                 usage(argv[0]);
+        }
+        // A malformed fault spec is a bad argument, caught here; the
+        // environment spec goes through the same validation.
+        if (!fault_spec.empty()) {
+            fault::configure(fault_spec);
+            fault::enable();
+        } else {
+            fault::configureFromEnv();
         }
     } catch (const ConfigError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
@@ -212,7 +235,14 @@ main(int argc, char **argv)
                              chip_path.c_str());
                 return 2;
             }
-            chip = loadChip(in);
+            try {
+                chip = loadChip(in);
+            } catch (const ConfigError &e) {
+                // A chip file that does not parse is a bad argument,
+                // reported structurally with a usage exit code.
+                std::fprintf(stderr, "error: %s\n", e.what());
+                return 2;
+            }
         }
         if (!trace_path.empty())
             trace::Tracer::global().enable();
@@ -225,6 +255,20 @@ main(int argc, char **argv)
         config.tdm.parallelismThreshold = theta;
         config.fit.forest.treeCount = 25;
         const YoutiaoDesigner designer(config);
+        // The robust entry point walks the degradation ladder when fault
+        // injection (or a genuinely infeasible input) bites; on a clean
+        // run its output is bit-identical to designer.design().
+        auto run_design = [&designer, &chip, &data]() -> YoutiaoDesign {
+            Expected<YoutiaoDesign, DesignError> result =
+                designer.designRobust(chip, data);
+            if (!result.hasValue()) {
+                const std::string what = result.error().toString();
+                log::error("design failed", {{"error", what}});
+                std::fprintf(stderr, "design error: %s\n", what.c_str());
+                std::exit(1);
+            }
+            return std::move(result.value());
+        };
         std::map<std::string, metrics::PhaseStats> profile_phases;
         std::map<std::string, std::uint64_t> profile_counters;
         std::optional<YoutiaoDesign> maybe_design;
@@ -234,12 +278,12 @@ main(int argc, char **argv)
             // deterministic, so every run yields the same output and
             // keeping the last is keeping any.
             metrics::Registry::global().reset();
-            (void)designer.design(chip, data);
+            (void)run_design();
             std::vector<std::map<std::string, metrics::PhaseStats>> runs;
             runs.reserve(repeat);
             for (std::size_t r = 0; r < repeat; ++r) {
                 metrics::Registry::global().reset();
-                maybe_design = designer.design(chip, data);
+                maybe_design = run_design();
                 runs.push_back(metrics::Registry::global().phases());
                 if (r == 0)
                     profile_counters =
@@ -247,7 +291,7 @@ main(int argc, char **argv)
             }
             profile_phases = medianPhases(runs);
         } else {
-            maybe_design = designer.design(chip, data);
+            maybe_design = run_design();
         }
         const YoutiaoDesign &design = *maybe_design;
 
@@ -271,16 +315,25 @@ main(int argc, char **argv)
         if (route) {
             const auto nets = buildWiringNets(
                 chip, design.xyPlan, design.zPlan, design.readoutPlan);
-            const ChipRoutingResult routed = routeChip(chip, nets);
+            const RoutedWiring routed = routeChipWithFallback(chip, nets);
             std::printf("\n-- chip routing --\n"
                         "nets routed            %zu\n"
                         "failed connections     %zu\n"
                         "total wire length      %.1f mm\n"
                         "routing area           %.2f mm^2\n"
                         "airbridge crossovers   %zu\n",
-                        routed.netCount, routed.failedConnections,
-                        routed.totalLengthMm, routed.routingAreaMm2,
-                        routed.crossovers.size());
+                        routed.result.netCount,
+                        routed.result.failedConnections,
+                        routed.result.totalLengthMm,
+                        routed.result.routingAreaMm2,
+                        routed.result.crossovers.size());
+            // Extra lines only when the ladder engaged, so clean runs
+            // keep the historical routing summary byte for byte.
+            if (routed.dedicatedNetFallbacks > 0)
+                std::printf("dedicated fallbacks    %zu lines (from %zu "
+                            "nets)\n",
+                            routed.dedicatedNetFallbacks,
+                            routed.fallbackNets.size());
         }
         if (profile) {
             if (repeat > 1) {
