@@ -11,6 +11,10 @@
  *  (e) Hot-path profile (not a paper figure): full designer + routing
  *      on an 80-qubit system, feeding the perf record that
  *      tools/perf_check compares against bench/baselines/.
+ *  (f) Hierarchical scale-out (DESIGN.md section 10): tiled designer +
+ *      stitched routing on a 1024-qubit system, cross-checked against
+ *      the analytic estimate; its hier.* / corridor.* phases join the
+ *      perf record.
  */
 
 #include <benchmark/benchmark.h>
@@ -154,6 +158,40 @@ printPartE()
                 route.routingAreaMm2);
 }
 
+/**
+ * Hierarchical scale-out: the tiled designer and stitched routing on a
+ * 1024-qubit grid (16 tiles of 64), with the merged coax tally audited
+ * against the closed-form Figure 17 curve. The hier.design, hier.route
+ * and corridor.route phases feed the perf record.
+ */
+void
+printPartF()
+{
+    std::printf("Figure 17 (f): hierarchical design + routing, 1024 "
+                "qubits\n");
+    bench::rule();
+    const ChipTopology chip = makeGridWithQubitCount(1024);
+    const HierarchicalDesigner designer;
+    const HierarchicalDesign design = designer.designSynthesized(chip);
+    const HierarchicalRouting routing = routeHierarchical(chip, design);
+    const HierarchicalCrossCheck check =
+        crossCheckHierarchicalCounts(chip, design);
+    std::printf("%zu tiles, %zu seam couplers, %zu seam retunes "
+                "(%zu above epsilon)\n",
+                design.tiles.size(), design.seamCouplers.size(),
+                design.seamRetunes, design.seamViolationsUnresolved);
+    std::printf("%zu nets routed, %zu failed, DRC %s, max corridor "
+                "width %.2f mm\n",
+                routing.totalNets, routing.failedConnections,
+                routing.clean() ? "clean" : "DIRTY",
+                routing.corridor.maxCorridorWidthMm);
+    std::printf("coax %zu vs analytic %zu (%.2fx, band [%.1f, %.1f] "
+                "%s)\n\n",
+                check.actualCoax, check.analyticCoax, check.ratio,
+                check.bandLo, check.bandHi,
+                check.withinBand ? "ok" : "OUTSIDE");
+}
+
 void
 BM_EstimateSquareSystem(benchmark::State &state)
 {
@@ -185,6 +223,7 @@ main(int argc, char **argv)
     printPartC();
     printPartD();
     printPartE();
+    printPartF();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

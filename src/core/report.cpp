@@ -126,6 +126,64 @@ costComparison(const YoutiaoDesign &ours, const BaselineDesign &baseline,
     return line;
 }
 
+std::string
+hierarchicalReport(const ChipTopology &chip,
+                   const HierarchicalDesign &design,
+                   const YoutiaoConfig &config)
+{
+    std::ostringstream out;
+    char line[200];
+
+    out << "== YOUTIAO hierarchical design: " << chip.name() << " ==\n";
+    std::snprintf(line, sizeof line,
+                  "%zu qubits, %zu couplers; %zux%zu tile lattice, "
+                  "%zu non-empty tiles, %zu seam couplers\n\n",
+                  chip.qubitCount(), chip.couplerCount(),
+                  design.map.tilesX, design.map.tilesY,
+                  design.tiles.size(), design.seamCouplers.size());
+    out << line;
+
+    out << "-- tiles (FDM capacity " << config.fdm.lineCapacity
+        << ") --\n";
+    for (const HierarchicalTile &tile : design.tiles) {
+        std::snprintf(line, sizeof line,
+                      "tile (%zu,%zu): %zu qubits, %zu couplers, "
+                      "%zu XY lines, %zu Z lines, cost $%.0fK%s\n",
+                      tile.ix, tile.iy, tile.qubits.size(),
+                      tile.couplers.size(),
+                      tile.design.xyPlan.lines.size(),
+                      tile.design.zPlan.lineCount(),
+                      tile.design.costUsd / 1e3,
+                      tile.design.degradation.empty() ? ""
+                                                      : " [degraded]");
+        out << line;
+    }
+
+    out << "\n-- seam stitch --\n";
+    std::snprintf(line, sizeof line,
+                  "radius %.2f mm; %zu cross-seam pairs checked, "
+                  "%zu retunes, %zu above epsilon (worst %.3g)\n",
+                  design.seamRadiusMmUsed, design.seamPairsChecked,
+                  design.seamRetunes, design.seamViolationsUnresolved,
+                  design.maxSeamCrosstalk);
+    out << line;
+
+    out << "\n-- merged cryostat bill --\n";
+    std::snprintf(line, sizeof line,
+                  "XY %zu | Z %zu | readout feeds %zu | coax %zu | "
+                  "RF DACs %zu | cost $%.0fK\n",
+                  design.merged.counts.xyLines,
+                  design.merged.counts.zLines,
+                  design.merged.counts.readoutFeeds,
+                  design.merged.counts.coax(),
+                  design.merged.counts.rfDacs(),
+                  design.merged.costUsd / 1e3);
+    out << line;
+    if (!design.merged.degradation.empty())
+        out << '\n' << design.merged.degradation.summary();
+    return out.str();
+}
+
 } // namespace youtiao
 
 namespace youtiao {

@@ -14,6 +14,7 @@
 
 #include "circuit/scheduler.hpp"
 #include "core/baselines.hpp"
+#include "core/hierarchical.hpp"
 #include "core/youtiao.hpp"
 
 namespace youtiao {
@@ -45,6 +46,16 @@ std::string renderSchedule(const QuantumCircuit &qc,
 std::string costComparison(const YoutiaoDesign &ours,
                            const BaselineDesign &baseline,
                            const std::string &baseline_name);
+
+/**
+ * Report of a hierarchical design: tile lattice, per-tile summary line,
+ * seam-stitch diagnostics, and the merged cryostat bill. Large chips
+ * skip the per-qubit listings of wiringReport -- at 10k qubits those
+ * run to megabytes.
+ */
+std::string hierarchicalReport(const ChipTopology &chip,
+                               const HierarchicalDesign &design,
+                               const YoutiaoConfig &config = {});
 
 } // namespace youtiao
 

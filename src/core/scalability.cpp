@@ -105,4 +105,35 @@ compareIbmChiplet(std::size_t copies, const YoutiaoConfig &config)
     return cmp;
 }
 
+HierarchicalCrossCheck
+crossCheckHierarchicalCounts(const ChipTopology &chip,
+                             const HierarchicalDesign &design,
+                             const YoutiaoConfig &config, double band_lo,
+                             double band_hi)
+{
+    requireConfig(band_lo > 0.0 && band_lo < band_hi,
+                  "cross-check band must be a positive interval");
+    std::size_t high = 0;
+    for (double i : parallelismIndices(chip)) {
+        if (i >= config.tdm.parallelismThreshold)
+            ++high;
+    }
+    const WiringCounts analytic = multiplexedWiringCountsAnalytic(
+        chip.qubitCount(), chip.couplerCount(), config.fdm.lineCapacity,
+        high, config.cost);
+
+    HierarchicalCrossCheck check;
+    check.actualCoax = design.merged.counts.coax();
+    check.analyticCoax = analytic.coax();
+    check.bandLo = band_lo;
+    check.bandHi = band_hi;
+    check.ratio = check.analyticCoax == 0
+                      ? 0.0
+                      : static_cast<double>(check.actualCoax) /
+                            static_cast<double>(check.analyticCoax);
+    check.withinBand =
+        check.ratio >= band_lo && check.ratio <= band_hi;
+    return check;
+}
+
 } // namespace youtiao

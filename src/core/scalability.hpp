@@ -19,6 +19,7 @@
 #include "chip/topology.hpp"
 #include "chip/topology_builder.hpp"
 #include "core/config.hpp"
+#include "core/hierarchical.hpp"
 
 namespace youtiao {
 
@@ -83,6 +84,38 @@ struct ChipletComparison
  */
 ChipletComparison compareIbmChiplet(std::size_t copies,
                                     const YoutiaoConfig &config = {});
+
+/**
+ * A concrete hierarchical design audited against the closed-form
+ * estimate (Figure 17 scaling model). The analytic curve assumes every
+ * FDM line is full and every DEMUX slot used; a stitched tiled design
+ * fragments groups at tile boundaries, so its coax count sits above the
+ * estimate by a bounded factor. The band is the scalability
+ * cross-check: a merged design outside it means the stitch dropped or
+ * duplicated lines.
+ */
+struct HierarchicalCrossCheck
+{
+    std::size_t actualCoax = 0;
+    std::size_t analyticCoax = 0;
+    /** actual / analytic. */
+    double ratio = 0.0;
+    double bandLo = 0.0;
+    double bandHi = 0.0;
+    bool withinBand = false;
+};
+
+/**
+ * Cross-check @p design's merged wiring tally against the analytic
+ * estimate for @p chip. Band defaults cover grid chips from one tile up
+ * to ~200 tiles (fragmentation grows with the seam count but stays
+ * well under the default ceiling; pinned by tests/test_hierarchical.cpp).
+ */
+HierarchicalCrossCheck
+crossCheckHierarchicalCounts(const ChipTopology &chip,
+                             const HierarchicalDesign &design,
+                             const YoutiaoConfig &config = {},
+                             double band_lo = 0.6, double band_hi = 1.7);
 
 } // namespace youtiao
 

@@ -13,16 +13,16 @@ namespace youtiao {
 
 namespace {
 
-/** Admissible heuristic: Manhattan distance scaled below the cheapest
- *  per-step cost (same-net reuse costs 0.02). */
+/** Manhattan-distance heuristic; the caller's weight decides how
+ *  goal-directed the search is (see AstarConfig::heuristicWeight). */
 double
-heuristic(const Cell &a, const Cell &b)
+heuristic(const Cell &a, const Cell &b, double weight)
 {
     const double dx = a.x > b.x ? static_cast<double>(a.x - b.x)
                                 : static_cast<double>(b.x - a.x);
     const double dy = a.y > b.y ? static_cast<double>(a.y - b.y)
                                 : static_cast<double>(b.y - a.y);
-    return 0.01 * (dx + dy);
+    return weight * (dx + dy);
 }
 
 constexpr int kDirCount = 4;
@@ -48,7 +48,8 @@ requireAstarIndexable(std::size_t width, std::size_t height)
                   "routing grid of " + std::to_string(width) + "x" +
                       std::to_string(height) +
                       " cells exceeds the A* 32-bit state index; shrink "
-                      "the grid or coarsen the cell pitch");
+                      "the grid, coarsen the cell pitch, or use the "
+                      "hierarchical tile router (64-bit corridor ids)");
 }
 
 std::optional<RoutedPath>
@@ -92,7 +93,8 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
         const std::size_t s = flat(from) * kDirCount +
                               static_cast<std::size_t>(d);
         arena.relax(s, 0.0, no_parent);
-        open.emplace(heuristic(from, to), static_cast<std::uint32_t>(s));
+        open.emplace(heuristic(from, to, config.heuristicWeight),
+                     static_cast<std::uint32_t>(s));
     }
 
     std::uint32_t goal_state = no_parent;
@@ -154,7 +156,8 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
             const double cand = arena.g(state) + step;
             if (!arena.closed(nstate) && cand < arena.g(nstate)) {
                 arena.relax(nstate, cand, state);
-                open.emplace(cand + heuristic(next, to),
+                open.emplace(cand + heuristic(next, to,
+                                              config.heuristicWeight),
                              static_cast<std::uint32_t>(nstate));
             }
         }

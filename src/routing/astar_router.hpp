@@ -52,6 +52,18 @@ struct AstarConfig
     /** Extra cost for new metal adjacent to an obstacle (keeps pad
      *  alleys open for later pins). */
     double crowdingPenalty = 0.25;
+    /**
+     * Manhattan-distance multiplier of the A* heuristic. The default
+     * stays below the cheapest per-step cost (same-net reuse, 0.02), so
+     * the search is admissible even along an existing trunk and paths
+     * are globally optimal -- at near-Dijkstra expansion cost. Larger
+     * weights (up to ~1.0, the new-metal step cost) make the search
+     * goal-directed and orders of magnitude faster; paths may then
+     * under-reuse trunks but remain valid routes. The hierarchical tile
+     * router runs at 1.0; the flat path keeps the default so existing
+     * results stay bit-identical.
+     */
+    double heuristicWeight = 0.01;
 };
 
 /**
@@ -132,6 +144,13 @@ class SearchArena
 
     /** States the arena can hold without regrowing (diagnostic). */
     std::size_t capacity() const { return g_.size(); }
+
+    /** Bytes of working memory currently held (diagnostic; the
+     *  hierarchical router budgets per-tile arenas against this). */
+    std::size_t memoryBytes() const
+    {
+        return g_.size() * (sizeof(double) + 3 * sizeof(std::uint32_t));
+    }
 
   private:
     std::vector<double> g_;

@@ -248,6 +248,9 @@ routeOnce(const ChipTopology &chip, const std::vector<NetSpec> &nets,
         requireInternal(best_slot < slots.size(), "out of interface slots");
         slot_used[best_slot] = true;
         ++result.interfaceCount;
+        if (result.interfaces.empty())
+            result.interfaces.assign(nets.size(), Point{lo.x, lo.y});
+        result.interfaces[net_index] = slots[best_slot];
         grid.clearSquare(slots[best_slot], 0.5 * config.grid.cellMm);
 
         // Release this net's reserved pin cells, then route the
@@ -282,8 +285,8 @@ routeOnce(const ChipTopology &chip, const std::vector<NetSpec> &nets,
                 continue;
             }
             const Cell target = grid.cellAt(t);
-            const auto path =
-                routeAstar(grid, anchor, target, net_id, arena);
+            const auto path = routeAstar(grid, anchor, target, net_id,
+                                         arena, config.astar);
             if (!path.has_value()) {
                 ++result.failedConnections;
                 net_failed[net_index] = true;

@@ -57,6 +57,8 @@ struct ChipRoutingConfig
     std::vector<Point> blockedCells;
     /** Halfwidth of each blocked square (mm). */
     double blockedHalfWidthMm = 0.1;
+    /** Per-path A* cost knobs (defaults reproduce historic routes). */
+    AstarConfig astar;
 };
 
 /** Aggregate routing metrics. */
@@ -75,6 +77,10 @@ struct ChipRoutingResult
     double routingAreaMm2 = 0.0;
     /** Perimeter interfaces consumed (= nets). */
     std::size_t interfaceCount = 0;
+    /** Interface pad claimed by each net, indexed by net (the
+     *  hierarchical router anchors corridor entry on these). Empty for
+     *  nets that never claimed a slot. */
+    std::vector<Point> interfaces;
     /** Airbridge crossovers used (cell + the net bridged over). */
     std::vector<Crossover> crossovers;
     /** Final occupancy grid (for DRC and inspection). */

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Corridor routing between tiles of a hierarchical design.
+ *
+ * Tile routing (chip_router) terminates every net at an interface pad on
+ * its tile's perimeter; this module carries those nets from the tile edge
+ * to the chip boundary through the reserved seam corridors between tiles.
+ * The corridor network is a lattice whose vertices are tile corners and
+ * whose edges are the corridor *segments* running along each tile-cut
+ * line; a net's corridor path is a contiguous chain of segments from the
+ * entry segment nearest its interface pad to any segment on the chip
+ * boundary.
+ *
+ * Segment indices are 64-bit by design: a 100k-qubit chip tiled at a few
+ * dozen qubits per tile produces lattices far beyond the 32-bit state
+ * budget of the dense cell-level A* (see requireAstarIndexable), and the
+ * regression tests drive lattices whose ids exceed uint32 outright. The
+ * search is a sparse congestion-aware Dijkstra over hash maps, so memory
+ * scales with cells *visited*, not lattice size.
+ */
+
+#ifndef YOUTIAO_ROUTING_CORRIDOR_ROUTER_HPP
+#define YOUTIAO_ROUTING_CORRIDOR_ROUTER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chip/device.hpp"
+
+namespace youtiao {
+
+/**
+ * The corridor lattice spanned by the tile cuts of a hierarchical
+ * design. xCutsMm/yCutsMm are the ascending tile boundary coordinates
+ * including the outer chip edges, so tilesX() = xCutsMm.size() - 1.
+ *
+ * Segment id scheme (all 64-bit):
+ *   horizontal segment (i, j): runs along y = yCutsMm[j] from xCutsMm[i]
+ *     to xCutsMm[i+1], for i in [0, tilesX), j in [0, tilesY]; its id is
+ *     j * tilesX + i.
+ *   vertical segment (i, j): runs along x = xCutsMm[i] from yCutsMm[j]
+ *     to yCutsMm[j+1], for i in [0, tilesX], j in [0, tilesY); its id is
+ *     horizontalCount() + i * tilesY + j.
+ */
+struct CorridorLattice
+{
+    std::vector<double> xCutsMm;
+    std::vector<double> yCutsMm;
+
+    std::uint64_t tilesX() const
+    {
+        return static_cast<std::uint64_t>(xCutsMm.size()) - 1;
+    }
+    std::uint64_t tilesY() const
+    {
+        return static_cast<std::uint64_t>(yCutsMm.size()) - 1;
+    }
+    std::uint64_t horizontalCount() const
+    {
+        return tilesX() * (tilesY() + 1);
+    }
+    std::uint64_t segmentCount() const
+    {
+        return horizontalCount() + (tilesX() + 1) * tilesY();
+    }
+
+    bool isHorizontal(std::uint64_t id) const
+    {
+        return id < horizontalCount();
+    }
+
+    /** Length of segment @p id (mm). */
+    double segmentLengthMm(std::uint64_t id) const;
+
+    /** Midpoint of segment @p id. */
+    Point segmentMidpoint(std::uint64_t id) const;
+
+    /** Segments sharing a lattice vertex with @p id (at most 6). */
+    std::vector<std::uint64_t> adjacentSegments(std::uint64_t id) const;
+
+    /** True when the segment lies on the outer chip boundary. */
+    bool isBoundary(std::uint64_t id) const;
+
+    /**
+     * The side segment of tile (ix, iy) nearest to point @p p (smallest
+     * midpoint distance; ties break to the lowest id). This is where a
+     * net whose tile-level interface pad sits at @p p enters the
+     * corridor network.
+     */
+    std::uint64_t entrySegmentForTile(std::uint64_t ix, std::uint64_t iy,
+                                      const Point &p) const;
+};
+
+/** Build the lattice straight from tile-cut coordinate lists. */
+CorridorLattice makeCorridorLattice(std::vector<double> x_cuts_mm,
+                                    std::vector<double> y_cuts_mm);
+
+/** Corridor routing knobs. */
+struct CorridorConfig
+{
+    /**
+     * Congestion pressure: a segment already carrying u nets costs
+     * length * (1 + congestionWeight * u / usageNorm) to traverse, so
+     * later nets spread across parallel corridors instead of piling
+     * onto one seam.
+     */
+    double congestionWeight = 4.0;
+    /** Usage normalization for the congestion term. */
+    double usageNorm = 32.0;
+    /**
+     * Hard per-segment net capacity; 0 = uncapped (the result reports
+     * the peak usage so callers can size the corridor width instead).
+     */
+    std::size_t segmentCapacity = 0;
+    /** Line pitch inside a corridor (mm); sizes the width report. */
+    double linePitchMm = 0.03;
+};
+
+/** One net's corridor path (entry segment first). */
+struct CorridorPath
+{
+    std::vector<std::uint64_t> segments;
+    double lengthMm = 0.0;
+};
+
+/** Result of routing a batch of nets through the corridors. */
+struct CorridorResult
+{
+    /** Per net, in input order; a failed net has an empty path. */
+    std::vector<CorridorPath> paths;
+    std::size_t failedNets = 0;
+    /** Nets crossing each used segment. */
+    std::unordered_map<std::uint64_t, std::uint32_t> usage;
+    std::size_t maxSegmentUsage = 0;
+    /** Corridor width needed for the busiest segment (usage * pitch). */
+    double maxCorridorWidthMm = 0.0;
+};
+
+/**
+ * Route every net from its entry segment to the chip boundary,
+ * congestion-aware, in input order (deterministic). A net whose entry
+ * segment is already on the boundary gets the one-segment path.
+ */
+CorridorResult routeCorridors(const CorridorLattice &lattice,
+                              const std::vector<std::uint64_t> &entries,
+                              const CorridorConfig &config = {});
+
+/**
+ * Point-to-point corridor search (tests and diagnostics): cheapest
+ * segment chain from @p from to @p to under @p usage. Sparse: on a huge
+ * lattice only the neighbourhood between the endpoints is touched.
+ */
+std::optional<CorridorPath> routeCorridorPath(
+    const CorridorLattice &lattice, std::uint64_t from, std::uint64_t to,
+    const std::unordered_map<std::uint64_t, std::uint32_t> &usage = {},
+    const CorridorConfig &config = {});
+
+/** Corridor design-rule report. */
+struct CorridorDrcReport
+{
+    bool clean = true;
+    std::vector<std::string> violations;
+};
+
+/**
+ * Check the corridor invariants: every net routed, each path starts at
+ * its entry segment, consecutive segments are lattice-adjacent, the
+ * last segment reaches the chip boundary, the recorded usage matches
+ * the paths, and (when @p config caps segments) no segment exceeds its
+ * capacity.
+ */
+CorridorDrcReport checkCorridorDrc(const CorridorLattice &lattice,
+                                   const CorridorResult &result,
+                                   const std::vector<std::uint64_t> &entries,
+                                   const CorridorConfig &config = {});
+
+} // namespace youtiao
+
+#endif // YOUTIAO_ROUTING_CORRIDOR_ROUTER_HPP

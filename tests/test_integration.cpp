@@ -11,6 +11,8 @@
 #include "circuit/benchmarks.hpp"
 #include "circuit/transpiler.hpp"
 #include "core/baselines.hpp"
+#include "core/report.hpp"
+#include "core/scalability.hpp"
 #include "core/youtiao.hpp"
 #include "multiplex/tdm_scheduler.hpp"
 
@@ -297,6 +299,43 @@ TEST(Integration, IntroMotivationNaiveTdmInflatesDjLatency)
     EXPECT_LT(ours.durationNs(physical, d),
               1.15 * dedicated.durationNs(physical, d))
         << "the hybrid keeps latency near dedicated wiring";
+}
+
+TEST(Integration, HierarchicalThousandQubitEndToEnd)
+{
+    // The scale-out smoke: a 1k-qubit grid through the tiled designer,
+    // stitched routing, DRC, and the report -- the same path the CI
+    // scale-smoke job drives at 10k. Uses the synthesized-measurement
+    // entry point (the O(Q^2) global characterization is exactly what
+    // the hierarchical path exists to avoid).
+    const ChipTopology chip = makeGridWithQubitCount(1000);
+    HierarchicalConfig hier;
+    hier.tileSizeQubits = 64;
+    const HierarchicalDesigner designer({}, hier);
+    const HierarchicalDesign design = designer.designSynthesized(chip);
+
+    EXPECT_EQ(design.map.tilesX * design.map.tilesY, 16u);
+    EXPECT_EQ(design.seamViolationsUnresolved, 0u);
+    std::size_t tile_qubits = 0;
+    for (const HierarchicalTile &tile : design.tiles)
+        tile_qubits += tile.qubits.size();
+    EXPECT_EQ(tile_qubits, chip.qubitCount());
+
+    const HierarchicalRouting routing = routeHierarchical(chip, design);
+    EXPECT_TRUE(routing.clean());
+    EXPECT_EQ(routing.failedConnections, 0u);
+
+    const HierarchicalCrossCheck check =
+        crossCheckHierarchicalCounts(chip, design);
+    EXPECT_TRUE(check.withinBand)
+        << check.actualCoax << " vs " << check.analyticCoax;
+
+    // Report schema: the sections tools and CI grep for must be there.
+    const std::string report = hierarchicalReport(chip, design);
+    EXPECT_NE(report.find("hierarchical design"), std::string::npos);
+    EXPECT_NE(report.find("-- seam stitch --"), std::string::npos);
+    EXPECT_NE(report.find("-- merged cryostat bill --"),
+              std::string::npos);
 }
 
 } // namespace

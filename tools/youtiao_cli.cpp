@@ -4,8 +4,9 @@
  *
  *   youtiao_cli [--topology NAME] [--rows N] [--cols N] [--seed S]
  *               [--capacity K] [--theta T] [--compare] [--profile]
- *               [--repeat N] [--route] [--trace FILE]
- *               [--inject-faults SPEC] [--log-level LEVEL]
+ *               [--repeat N] [--route] [--hierarchical] [--tile-size N]
+ *               [--trace FILE] [--inject-faults SPEC]
+ *               [--log-level LEVEL]
  *
  * Topologies: square, hexagon, heavy-square, heavy-hexagon, low-density,
  * grid (with --rows/--cols). Prints the full wiring report; --compare
@@ -15,7 +16,12 @@
  * pipeline N times after one discarded warmup run and reports the
  * per-phase median, so profile numbers are stable enough to compare
  * across builds. --route also routes the wiring nets on the chip and
- * prints a routing summary. --trace FILE records a span timeline of the
+ * prints a routing summary. --hierarchical switches to the tiled
+ * scale-out pipeline (hierarchical.hpp): per-tile synthetic
+ * characterization and design, boundary stitching, and (with --route)
+ * tile-level maze routing plus seam-corridor routing; --tile-size sets
+ * the qubits per tile and the process exits 1 if the stitched routing
+ * is not DRC-clean. --trace FILE records a span timeline of the
  * run as Chrome trace-event JSON (schema "youtiao-trace-1", open in
  * Perfetto or chrome://tracing) and implies --route so the timeline
  * covers per-net routing work. --inject-faults SPEC (also the
@@ -70,6 +76,7 @@ usage(const char *argv0)
         "[--theta T] [--compare]\n"
         "          [--save FILE] [--chip FILE] [--profile] "
         "[--repeat N] [--route]\n"
+        "          [--hierarchical] [--tile-size N]\n"
         "          [--trace FILE] [--inject-faults SPEC]\n"
         "          [--log-level error|warn|info|debug]\n"
         "  --rows/--cols/--capacity take integers >= 1, --theta a "
@@ -80,6 +87,11 @@ usage(const char *argv0)
         "after a\n"
         "  discarded warmup and reports the per-phase median;\n"
         "  --route also routes the wiring nets and prints a summary;\n"
+        "  --hierarchical designs the chip tile by tile (--tile-size "
+        "qubits per\n"
+        "  tile, default 64) with boundary stitching and corridor "
+        "routing; exits 1\n"
+        "  if the stitched routing fails DRC;\n"
         "  --trace FILE writes a Chrome trace-event timeline of the run "
         "(implies\n"
         "  --route); --inject-faults arms deterministic fault injection "
@@ -133,6 +145,8 @@ main(int argc, char **argv)
     bool compare = false;
     bool profile = false;
     bool route = false;
+    bool hierarchical = false;
+    std::size_t tile_size = 64;
     std::size_t repeat = 1;
     std::string save_path;
     std::string chip_path;
@@ -167,6 +181,10 @@ main(int argc, char **argv)
                 repeat = parseSizeArg(next(), "--repeat", 1, 10000);
             else if (arg == "--route")
                 route = true;
+            else if (arg == "--hierarchical")
+                hierarchical = true;
+            else if (arg == "--tile-size")
+                tile_size = parseSizeArg(next(), "--tile-size");
             else if (arg == "--save")
                 save_path = next();
             else if (arg == "--chip")
@@ -199,6 +217,18 @@ main(int argc, char **argv)
     }
     if (repeat > 1 && !profile) {
         std::fprintf(stderr, "error: --repeat requires --profile\n");
+        return 2;
+    }
+    // The hierarchical path has its own report, routing and exit
+    // semantics; flags tied to the flat single-design flow are rejected
+    // up front rather than silently ignored.
+    if (hierarchical &&
+        (!save_path.empty() || compare || repeat > 1 ||
+         !fault_spec.empty())) {
+        std::fprintf(stderr,
+                     "error: --hierarchical is incompatible with "
+                     "--save, --compare, --repeat and "
+                     "--inject-faults\n");
         return 2;
     }
     // A trace without the routing stage would miss the per-net spans
@@ -246,14 +276,67 @@ main(int argc, char **argv)
         }
         if (!trace_path.empty())
             trace::Tracer::global().enable();
-        Prng prng(seed);
-        const ChipCharacterization data = characterizeChip(chip, prng);
 
         YoutiaoConfig config;
         config.seed = seed;
         config.fdm.lineCapacity = capacity;
         config.tdm.parallelismThreshold = theta;
         config.fit.forest.treeCount = 25;
+
+        if (hierarchical) {
+            // Tiled scale-out: per-tile synthetic characterization
+            // (O(tile^2), not O(chip^2) -- the global matrices would
+            // not fit memory at 10k+ qubits), per-tile design on the
+            // pool, boundary stitch, corridor routing.
+            HierarchicalConfig hier;
+            hier.tileSizeQubits = tile_size;
+            const HierarchicalDesigner hdesigner(config, hier);
+            const HierarchicalDesign hdesign =
+                hdesigner.designSynthesized(chip);
+            std::fputs(hierarchicalReport(chip, hdesign, config).c_str(),
+                       stdout);
+            bool clean = true;
+            if (route) {
+                const HierarchicalRouting routing =
+                    routeHierarchical(chip, hdesign);
+                std::size_t tile_violations = 0;
+                for (const DrcReport &drc : routing.tileDrc)
+                    tile_violations += drc.violations.size();
+                std::printf(
+                    "\n-- hierarchical routing --\n"
+                    "nets routed            %zu\n"
+                    "failed connections     %zu\n"
+                    "total wire length      %.1f mm\n"
+                    "corridor nets failed   %zu\n"
+                    "max corridor width     %.2f mm\n"
+                    "tile DRC violations    %zu\n"
+                    "corridor DRC           %s\n"
+                    "DRC %s\n",
+                    routing.totalNets, routing.failedConnections,
+                    routing.totalLengthMm, routing.corridor.failedNets,
+                    routing.corridor.maxCorridorWidthMm,
+                    tile_violations,
+                    routing.corridorDrc.clean ? "clean" : "dirty",
+                    routing.clean() ? "clean" : "DIRTY");
+                clean = routing.clean();
+            }
+            if (profile)
+                std::fputs(metrics::phaseTable().c_str(), stdout);
+            if (!trace_path.empty()) {
+                trace::Tracer::global().disable();
+                if (!trace::Tracer::global().writeJson(trace_path)) {
+                    std::fprintf(stderr, "error: cannot write %s\n",
+                                 trace_path.c_str());
+                    return 1;
+                }
+                std::printf("\ntrace written to %s\n",
+                            trace_path.c_str());
+            }
+            return clean ? 0 : 1;
+        }
+
+        Prng prng(seed);
+        const ChipCharacterization data = characterizeChip(chip, prng);
         const YoutiaoDesigner designer(config);
         // The robust entry point walks the degradation ladder when fault
         // injection (or a genuinely infeasible input) bites; on a clean
