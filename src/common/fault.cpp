@@ -1,6 +1,7 @@
 #include "common/fault.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -87,12 +88,20 @@ parseRate(const std::string &text, const std::string &site_name)
 std::uint64_t
 parseSeed(const std::string &text, const std::string &site_name)
 {
+    // strtoull silently wraps negative input and saturates on overflow,
+    // both of which would change the replayed fault pattern without a
+    // word; reject anything but a plain in-range decimal.
+    const bool plain_digits =
+        !text.empty() && text.find_first_not_of("0123456789") ==
+                             std::string::npos;
+    errno = 0;
     char *end = nullptr;
     const unsigned long long seed = std::strtoull(text.c_str(), &end, 10);
-    requireConfig(end != text.c_str() && *end == '\0',
+    requireConfig(plain_digits && end != text.c_str() && *end == '\0' &&
+                      errno != ERANGE,
                   "fault spec: seed for site '" + site_name +
-                      "' must be a non-negative integer, got '" + text +
-                      "'");
+                      "' must be a non-negative integer fitting 64 bits, "
+                      "got '" + text + "'");
     return static_cast<std::uint64_t>(seed);
 }
 

@@ -91,8 +91,14 @@ HistogramStats::merge(const HistogramStats &other)
 double
 HistogramStats::quantile(double q) const
 {
+    // Degenerate histograms have exact answers: an empty one reports 0
+    // and a single observation is every percentile of itself. Neither
+    // may fall through to the bucket scan, whose interpolation assumes
+    // at least one populated bucket between min and max.
     if (count == 0)
         return 0.0;
+    if (count == 1)
+        return min;
     q = std::clamp(q, 0.0, 1.0);
     // Rank of the requested quantile (1-based); linear interpolation
     // between a bucket's edges, then clamped to the exact [min, max].

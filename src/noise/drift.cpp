@@ -1,0 +1,141 @@
+#include "noise/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/prng.hpp"
+
+namespace youtiao {
+
+std::vector<TlsDefect>
+DriftTrace::activeDefects(std::size_t epoch) const
+{
+    std::vector<TlsDefect> out;
+    for (const TlsDefect &d : defects) {
+        if (d.activeAt(epoch))
+            out.push_back(d);
+    }
+    return out;
+}
+
+std::vector<std::pair<double, double>>
+DriftTrace::maskedBands(std::size_t epoch) const
+{
+    std::vector<std::pair<double, double>> out;
+    const double w = config.maskHalfWidthGHz;
+    for (const TlsDefect &d : defects) {
+        if (d.activeAt(epoch) && d.masksBand) {
+            out.emplace_back(std::max(config.bandLoGHz, d.frequencyGHz - w),
+                             std::min(config.bandHiGHz,
+                                      d.frequencyGHz + w));
+        }
+    }
+    return out;
+}
+
+DriftTrace
+simulateDrift(std::size_t qubit_count, const DriftConfig &config)
+{
+    requireConfig(config.epochs >= 1, "drift: epochs must be >= 1");
+    requireConfig(config.hoursPerEpoch > 0.0,
+                  "drift: hoursPerEpoch must be positive");
+    requireConfig(config.bandHiGHz > config.bandLoGHz,
+                  "drift: empty frequency band");
+    requireConfig(config.crosstalkScaleClamp >= 1.0,
+                  "drift: crosstalkScaleClamp must be >= 1");
+    const metrics::ScopedTimer timer("drift.simulate");
+
+    DriftTrace trace;
+    trace.config = config;
+    trace.qubitCount = qubit_count;
+    trace.qubitScale.assign(config.epochs * qubit_count, 1.0);
+
+    const double births_per_epoch =
+        config.tlsBirthsPerQubitPerDay * config.hoursPerEpoch / 24.0;
+    const double mean_lifetime_epochs =
+        std::max(1.0, config.tlsMeanLifetimeHours / config.hoursPerEpoch);
+
+    // One independent stream per qubit: the trace is a pure function of
+    // (seed, qubit index, epoch), never of iteration order.
+    for (std::size_t q = 0; q < qubit_count; ++q) {
+        Prng prng(taskSeed(config.seed, q));
+        double scale = 1.0;
+        for (std::size_t e = 0; e < config.epochs; ++e) {
+            // Lognormal random walk of this qubit's crosstalk amplitude.
+            scale *= std::exp(prng.gaussian() *
+                              config.crosstalkDriftSigma);
+            scale = std::clamp(scale, 1.0 / config.crosstalkScaleClamp,
+                               config.crosstalkScaleClamp);
+            trace.qubitScale[e * qubit_count + q] = scale;
+
+            // TLS births: Bernoulli per epoch at the configured rate.
+            if (!prng.bernoulli(std::min(1.0, births_per_epoch)))
+                continue;
+            TlsDefect d;
+            d.qubit = q;
+            d.frequencyGHz =
+                prng.uniform(config.bandLoGHz, config.bandHiGHz);
+            d.strength = config.tlsStrength * (0.5 + prng.uniform());
+            d.linewidthGHz = config.tlsLinewidthGHz;
+            d.bornEpoch = e;
+            const double life = -std::log(1.0 - prng.uniform()) *
+                                mean_lifetime_epochs;
+            d.diesEpoch =
+                e + std::max<std::size_t>(
+                        1, static_cast<std::size_t>(std::lround(life)));
+            d.masksBand = prng.bernoulli(config.maskProbability);
+            trace.defects.push_back(d);
+        }
+    }
+    return trace;
+}
+
+SymmetricMatrix
+driftedCrosstalk(const SymmetricMatrix &base, const DriftTrace &trace,
+                 std::size_t epoch)
+{
+    requireConfig(epoch < trace.config.epochs,
+                  "drift: epoch beyond the trace");
+    requireConfig(base.size() <= trace.qubitCount,
+                  "drift: trace does not cover the matrix");
+    SymmetricMatrix out(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        for (std::size_t j = i; j < base.size(); ++j) {
+            out(i, j) = base(i, j) * std::sqrt(trace.scale(epoch, i) *
+                                               trace.scale(epoch, j));
+        }
+    }
+    return out;
+}
+
+std::string
+driftTraceToJson(const DriftTrace &trace)
+{
+    std::ostringstream out;
+    char buf[128];
+    out << "{\n  \"schema\": \"youtiao-drift-1\",\n  \"seed\": "
+        << trace.config.seed << ",\n  \"epochs\": " << trace.config.epochs
+        << ",\n  \"hours_per_epoch\": ";
+    std::snprintf(buf, sizeof buf, "%g", trace.config.hoursPerEpoch);
+    out << buf << ",\n  \"qubit_count\": " << trace.qubitCount
+        << ",\n  \"defects\": [";
+    for (std::size_t i = 0; i < trace.defects.size(); ++i) {
+        const TlsDefect &d = trace.defects[i];
+        std::snprintf(buf, sizeof buf,
+                      "\"frequency_ghz\": %.6f, \"strength\": %.6g, "
+                      "\"linewidth_ghz\": %.6g",
+                      d.frequencyGHz, d.strength, d.linewidthGHz);
+        out << (i == 0 ? "\n" : ",\n") << "    {\"qubit\": " << d.qubit
+            << ", " << buf << ", \"born_epoch\": " << d.bornEpoch
+            << ", \"dies_epoch\": " << d.diesEpoch << ", \"masks_band\": "
+            << (d.masksBand ? "true" : "false") << "}";
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+} // namespace youtiao

@@ -85,6 +85,19 @@ estimateFidelity(const QuantumCircuit &qc, const Schedule &schedule,
                 }
                 out.crosstalkComponent *= 1.0 - err;
             }
+            // TLS defects parked near the drive frequency add a
+            // frequency-localized excess error on the driven qubit. The
+            // loop only runs when the caller supplied defects, so
+            // defect-free contexts stay bit-identical to the old model.
+            for (const TlsNoiseSource &tls : ctx.tlsDefects) {
+                if (tls.qubit != drive)
+                    continue;
+                const double df = 2.0 *
+                                  (f_drive - tls.frequencyGHz) /
+                                  tls.linewidthGHz;
+                const double overlap = 1.0 / (1.0 + df * df);
+                out.crosstalkComponent *= 1.0 - tls.strength * overlap;
+            }
         }
 
         // ZZ dephasing between simultaneously executing two-qubit gates:

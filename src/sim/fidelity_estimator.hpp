@@ -26,6 +26,21 @@
 
 namespace youtiao {
 
+/**
+ * A frequency-localized excess error source on one qubit's drive (a TLS
+ * defect): driving the qubit costs an extra `strength`-scaled error
+ * weighted by the Lorentzian overlap of the drive frequency with the
+ * defect. Produced by the drift simulator (noise/drift.hpp).
+ */
+struct TlsNoiseSource
+{
+    std::size_t qubit = 0;
+    double frequencyGHz = 0.0;
+    /** Excess drive error at zero detuning. */
+    double strength = 0.0;
+    double linewidthGHz = 0.05;
+};
+
 /** Everything the estimator needs to know about the wired chip. */
 struct FidelityContext
 {
@@ -43,6 +58,9 @@ struct FidelityContext
     std::vector<double> t1Ns;
     /** Gate durations used for the decoherence clock. */
     GateDurations durations;
+    /** Active TLS defects; empty (the default) adds no error term and
+     *  leaves every estimate bit-identical to the defect-free model. */
+    std::vector<TlsNoiseSource> tlsDefects;
 
     static constexpr std::size_t kDedicated = static_cast<std::size_t>(-1);
 };

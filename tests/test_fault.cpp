@@ -152,6 +152,44 @@ TEST_F(FaultTest, CatalogIsSortedAndQueryable)
         EXPECT_TRUE(fault::isKnownSite(name)) << name;
 }
 
+TEST_F(FaultTest, OutOfRangeRatesNameTheOffendingToken)
+{
+    // The error must carry the bad token, not silently clamp it.
+    for (const char *bad : {"1.5", "-0.1", "2", "nope"}) {
+        const std::string spec = std::string("freq.allocate:") + bad;
+        try {
+            fault::configure(spec);
+            FAIL() << "accepted " << spec;
+        } catch (const ConfigError &e) {
+            EXPECT_NE(std::string(e.what()).find(bad),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST_F(FaultTest, NegativeAndOverflowingSeedsAreRejected)
+{
+    // strtoull would silently wrap "-1" to ULLONG_MAX and saturate the
+    // overflowing value; both must be loud ConfigErrors instead.
+    for (const char *bad :
+         {"-1", "+5", "99999999999999999999999", "0x10", ""}) {
+        const std::string spec = std::string("freq.allocate:0.5:") + bad;
+        EXPECT_THROW(fault::configure(spec), ConfigError) << spec;
+    }
+    try {
+        fault::configure("freq.allocate:0.5:-1");
+        FAIL() << "accepted a negative seed";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("-1"), std::string::npos)
+            << e.what();
+    }
+    // The largest 64-bit seed still parses.
+    fault::configure("freq.allocate:0.5:18446744073709551615");
+    EXPECT_EQ(fault::stats().at("freq.allocate").seed,
+              18446744073709551615ull);
+}
+
 TEST_F(FaultTest, ResetDisablesAndClears)
 {
     fault::configure("freq.allocate:1.0");

@@ -175,6 +175,31 @@ TEST(Metrics, HistogramQuantilesAreClampedAndOrdered)
     EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max);
 }
 
+TEST(Metrics, HistogramQuantilesOfEmptyHistogramAreZero)
+{
+    // An empty histogram has no populated bucket to interpolate in;
+    // every percentile must come back as the defined 0, not garbage.
+    const metrics::HistogramStats h;
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Metrics, HistogramQuantilesOfSingleObservationAreTheObservation)
+{
+    for (double v : {0.0, 1e-9, 3.5, 1024.0}) {
+        metrics::HistogramStats h;
+        h.observe(v);
+        EXPECT_DOUBLE_EQ(h.quantile(0.5), v) << v;
+        EXPECT_DOUBLE_EQ(h.quantile(0.9), v) << v;
+        EXPECT_DOUBLE_EQ(h.quantile(0.99), v) << v;
+        EXPECT_DOUBLE_EQ(h.quantile(0.0), v) << v;
+        EXPECT_DOUBLE_EQ(h.quantile(1.0), v) << v;
+    }
+}
+
 TEST(Metrics, HistogramMergeIsOrderIndependent)
 {
     // Three shard-like pieces merged in every order must agree bit for

@@ -5,6 +5,8 @@
  *   youtiao_cli [--topology NAME] [--rows N] [--cols N] [--seed S]
  *               [--capacity K] [--theta T] [--compare] [--profile]
  *               [--repeat N] [--route] [--hierarchical] [--tile-size N]
+ *               [--hop] [--hop-save FILE]
+ *               [--drift-trace FILE] [--drift-epochs N]
  *               [--trace FILE] [--inject-faults SPEC]
  *               [--log-level LEVEL]
  *
@@ -29,7 +31,14 @@
  * injection at the pipeline's named sites -- grammar
  * site[:rate[:seed]][,...], see docs/FAULT_INJECTION.md; the design
  * then runs through the graceful-degradation pipeline and any
- * concessions are appended to the report. --log-level raises the
+ * concessions are appended to the report. --hop appends the design's
+ * seeded FHSS hop schedule (one channel table + rotation sequence per
+ * FDM line); --hop-save FILE writes it as JSON (schema youtiao-hop-1).
+ * --drift-trace FILE simulates a seeded drift trace (--drift-epochs
+ * epochs, default 48) over the designed chip, replays it under the
+ * static / hopping / re-allocating policies, prints the comparison
+ * table and writes trace + per-policy series as JSON (schema
+ * youtiao-drift-adaptation-1). --log-level raises the
  * structured-log threshold (error|warn|info|debug; also YOUTIAO_LOG).
  *
  * Exit codes: 0 success, 1 runtime failure (including structured design
@@ -56,6 +65,7 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "core/baselines.hpp"
+#include "core/drift_adaptation.hpp"
 #include "core/report.hpp"
 #include "core/serialization.hpp"
 #include "core/youtiao.hpp"
@@ -77,6 +87,8 @@ usage(const char *argv0)
         "          [--save FILE] [--chip FILE] [--profile] "
         "[--repeat N] [--route]\n"
         "          [--hierarchical] [--tile-size N]\n"
+        "          [--hop] [--hop-save FILE] [--drift-trace FILE] "
+        "[--drift-epochs N]\n"
         "          [--trace FILE] [--inject-faults SPEC]\n"
         "          [--log-level error|warn|info|debug]\n"
         "  --rows/--cols/--capacity take integers >= 1, --theta a "
@@ -92,6 +104,13 @@ usage(const char *argv0)
         "  tile, default 64) with boundary stitching and corridor "
         "routing; exits 1\n"
         "  if the stitched routing fails DRC;\n"
+        "  --hop appends the seeded FHSS hop schedule; --hop-save FILE "
+        "writes it as\n"
+        "  JSON; --drift-trace FILE replays a seeded drift trace "
+        "(--drift-epochs\n"
+        "  epochs, default 48) under the static/hopping/re-allocating "
+        "policies and\n"
+        "  writes trace + results as JSON;\n"
         "  --trace FILE writes a Chrome trace-event timeline of the run "
         "(implies\n"
         "  --route); --inject-faults arms deterministic fault injection "
@@ -152,6 +171,10 @@ main(int argc, char **argv)
     std::string chip_path;
     std::string trace_path;
     std::string fault_spec;
+    bool hop = false;
+    std::string hop_save_path;
+    std::string drift_path;
+    std::size_t drift_epochs = 48;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -189,6 +212,14 @@ main(int argc, char **argv)
                 save_path = next();
             else if (arg == "--chip")
                 chip_path = next();
+            else if (arg == "--hop")
+                hop = true;
+            else if (arg == "--hop-save")
+                hop_save_path = next();
+            else if (arg == "--drift-trace")
+                drift_path = next();
+            else if (arg == "--drift-epochs")
+                drift_epochs = parseSizeArg(next(), "--drift-epochs");
             else if (arg == "--trace")
                 trace_path = next();
             else if (arg == "--inject-faults")
@@ -224,11 +255,12 @@ main(int argc, char **argv)
     // up front rather than silently ignored.
     if (hierarchical &&
         (!save_path.empty() || compare || repeat > 1 ||
-         !fault_spec.empty())) {
+         !fault_spec.empty() || hop || !hop_save_path.empty() ||
+         !drift_path.empty())) {
         std::fprintf(stderr,
                      "error: --hierarchical is incompatible with "
-                     "--save, --compare, --repeat and "
-                     "--inject-faults\n");
+                     "--save, --compare, --repeat, --inject-faults, "
+                     "--hop, --hop-save and --drift-trace\n");
         return 2;
     }
     // A trace without the routing stage would miss the per-net spans
@@ -417,6 +449,56 @@ main(int argc, char **argv)
                             "nets)\n",
                             routed.dedicatedNetFallbacks,
                             routed.fallbackNets.size());
+        }
+        if (hop || !hop_save_path.empty()) {
+            const HopPlan hop_plan =
+                buildHopPlan(design.xyPlan, design.frequencyPlan,
+                             FhssConfig{seed, 4});
+            if (hop)
+                std::printf("\n%s", hopPlanReport(hop_plan).c_str());
+            if (!hop_save_path.empty()) {
+                std::ofstream out(hop_save_path);
+                if (!out) {
+                    std::fprintf(stderr, "error: cannot write %s\n",
+                                 hop_save_path.c_str());
+                    return 1;
+                }
+                out << hopPlanToJson(hop_plan);
+                std::printf("\nhop schedule saved to %s\n",
+                            hop_save_path.c_str());
+            }
+        }
+        if (!drift_path.empty()) {
+            // Seeded days-long drift replay: same trace and the same
+            // per-epoch evaluation circuits under all three policies,
+            // so the printed table is a like-for-like comparison.
+            DriftConfig drift_config;
+            drift_config.epochs = drift_epochs;
+            drift_config.seed = taskSeed(seed, 0xD21F7);
+            const DriftTrace trace_data =
+                simulateDrift(chip.qubitCount(), drift_config);
+            std::vector<DriftAdaptationResult> results;
+            for (DriftPolicy policy :
+                 {DriftPolicy::Static, DriftPolicy::Hopping,
+                  DriftPolicy::Reallocate}) {
+                DriftAdaptationConfig adapt;
+                adapt.policy = policy;
+                adapt.hop.seed = seed;
+                const DriftAdapter adapter(config, adapt);
+                results.push_back(
+                    adapter.run(chip, design, data, trace_data));
+            }
+            std::printf("\n%s",
+                        driftAdaptationReport(results).c_str());
+            std::ofstream out(drift_path);
+            if (!out) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             drift_path.c_str());
+                return 1;
+            }
+            out << driftResultsToJson(trace_data, results);
+            std::printf("\ndrift replay saved to %s\n",
+                        drift_path.c_str());
         }
         if (profile) {
             if (repeat > 1) {
