@@ -29,7 +29,7 @@ namespace youtiao::bench {
  * Machine-readable perf record for one bench binary. Construct at the
  * top of main() (resets the metrics registry so the record covers only
  * this run); the destructor writes the merged phase timers, counters,
- * and histograms to `BENCH_<name>.json` (schema "youtiao-perf-3", see
+ * and histograms to `BENCH_<name>.json` (schema "youtiao-perf-4", see
  * docs/FILE_FORMATS.md) in the current directory, or under
  * `$YOUTIAO_PERF_DIR` when set. When `$YOUTIAO_TRACE_DIR` is set the
  * run is also traced and the span timeline lands in

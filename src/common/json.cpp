@@ -1,6 +1,7 @@
 #include "common/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -321,6 +322,19 @@ escape(const std::string &text)
         }
     }
     return out;
+}
+
+std::string
+formatDouble(double value)
+{
+    requireInternal(std::isfinite(value),
+                    "non-finite double in a JSON writer");
+    char buf[32];
+    const auto res =
+        std::to_chars(buf, buf + sizeof buf, value);
+    requireInternal(res.ec == std::errc(),
+                    "double did not fit the to_chars buffer");
+    return std::string(buf, res.ptr);
 }
 
 } // namespace youtiao::json

@@ -63,6 +63,15 @@ Value parse(const std::string &text,
 /** Escape @p text for embedding inside a double-quoted JSON string. */
 std::string escape(const std::string &text);
 
+/**
+ * Render a finite double as the shortest decimal string that parses
+ * back to the identical bits (std::to_chars shortest round-trip form).
+ * Locale-independent, unlike printf's %g family, so perf records and
+ * trace files are byte-stable across environments. Non-finite values
+ * are not valid JSON numbers; they throw InternalError.
+ */
+std::string formatDouble(double value);
+
 } // namespace youtiao::json
 
 #endif // YOUTIAO_COMMON_JSON_HPP

@@ -16,6 +16,7 @@
 
 #include "common/json.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace youtiao::metrics {
 
@@ -370,11 +371,10 @@ jsonReport(const std::string &benchmark)
     const auto counters = Registry::global().counters();
     const auto histograms = Registry::global().histograms();
     std::ostringstream out;
-    char buf[64];
     const char *threads_env = std::getenv("YOUTIAO_THREADS");
     const std::optional<std::uint64_t> rss = peakRssBytes();
     out << "{\n";
-    out << "  \"schema\": \"youtiao-perf-3\",\n";
+    out << "  \"schema\": \"youtiao-perf-4\",\n";
     out << "  \"benchmark\": \"" << jsonEscape(benchmark) << "\",\n";
     out << "  \"config\": {\n";
     out << "    \"threads\": " << configuredThreadCount() << ",\n";
@@ -383,6 +383,10 @@ jsonReport(const std::string &benchmark)
             << jsonEscape(threads_env) << "\",\n";
     else
         out << "    \"youtiao_threads_env\": null,\n";
+    out << "    \"simd_level\": \""
+        << simd::levelName(simd::active()) << "\",\n";
+    out << "    \"cpu_features\": \""
+        << jsonEscape(simd::cpuFeatureString()) << "\",\n";
     out << "    \"build_type\": \"" << jsonEscape(buildType()) << "\",\n";
     out << "    \"peak_rss_bytes\": ";
     if (rss.has_value())
@@ -395,8 +399,8 @@ jsonReport(const std::string &benchmark)
     for (const auto &[name, stats] : phases) {
         out << (first ? "\n" : ",\n");
         first = false;
-        std::snprintf(buf, sizeof buf, "%.9g", stats.seconds);
-        out << "    \"" << jsonEscape(name) << "\": {\"seconds\": " << buf
+        out << "    \"" << jsonEscape(name) << "\": {\"seconds\": "
+            << json::formatDouble(stats.seconds)
             << ", \"calls\": " << stats.calls << "}";
     }
     out << (first ? "},\n" : "\n  },\n");
@@ -422,10 +426,8 @@ jsonReport(const std::string &benchmark)
             {"p50", h.quantile(0.5)}, {"p90", h.quantile(0.9)},
             {"p99", h.quantile(0.99)},
         };
-        for (const auto &[key, value] : doubles) {
-            std::snprintf(buf, sizeof buf, "%.9g", value);
-            out << ", \"" << key << "\": " << buf;
-        }
+        for (const auto &[key, value] : doubles)
+            out << ", \"" << key << "\": " << json::formatDouble(value);
         out << ", \"buckets\": {";
         bool first_bucket = true;
         for (std::size_t i = 0; i < kHistogramBuckets; ++i) {

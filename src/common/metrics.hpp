@@ -179,11 +179,11 @@ std::string phaseTable(
 
 /**
  * Machine-readable perf record of the global registry (schema
- * "youtiao-perf-3", see docs/FILE_FORMATS.md): benchmark name, config
+ * "youtiao-perf-4", see docs/FILE_FORMATS.md): benchmark name, config
  * (resolved thread count, raw YOUTIAO_THREADS, build type, peak RSS or
- * null where the platform cannot report it), per-phase wall times and
- * call counts, counters, and per-histogram bucket counts with derived
- * p50/p90/p99.
+ * null where the platform cannot report it, active SIMD level, CPU
+ * SIMD features), per-phase wall times and call counts, counters, and
+ * per-histogram bucket counts with derived p50/p90/p99.
  */
 std::string jsonReport(const std::string &benchmark);
 

@@ -56,7 +56,8 @@ parsePerfRecord(const std::string &text)
     record.schema = root.field("schema").asString("perf record: schema");
     requireConfig(record.schema == "youtiao-perf-1" ||
                       record.schema == "youtiao-perf-2" ||
-                      record.schema == "youtiao-perf-3",
+                      record.schema == "youtiao-perf-3" ||
+                      record.schema == "youtiao-perf-4",
                   "perf record: unknown schema '" + record.schema + "'");
     record.benchmark =
         root.field("benchmark").asString("perf record: benchmark");
@@ -86,6 +87,12 @@ parsePerfRecord(const std::string &text)
                 record.peakRssBytes =
                     asCount(*rss, "config peak_rss_bytes");
         }
+        if (const json::Value *level = config->fieldIf("simd_level"))
+            record.simdLevel =
+                level->asString("perf record: config simd_level");
+        if (const json::Value *cpu = config->fieldIf("cpu_features"))
+            record.cpuFeatures =
+                cpu->asString("perf record: config cpu_features");
     }
     return record;
 }

@@ -24,7 +24,7 @@
 
 namespace youtiao {
 
-/** One histogram entry of a perf-3 record. Quantiles are the writer's
+/** One histogram entry of a perf-3+ record. Quantiles are the writer's
  *  derived values; `buckets` maps log2 bucket index -> sample count
  *  (see metrics::HistogramStats). */
 struct HistogramRecord
@@ -38,19 +38,26 @@ struct HistogramRecord
     std::map<int, std::uint64_t> buckets;
 };
 
-/** One parsed `BENCH_<name>.json` record (schema youtiao-perf-1/2/3). */
+/** One parsed `BENCH_<name>.json` record (schema youtiao-perf-1..4). */
 struct PerfRecord
 {
     std::string schema;
     std::string benchmark;
     std::map<std::string, metrics::PhaseStats> phases;
     std::map<std::string, std::uint64_t> counters;
-    /** Present for perf-3 records; empty for older schemas. */
+    /** Present for perf-3+ records; empty for older schemas. */
     std::map<std::string, HistogramRecord> histograms;
     /** Peak RSS from the config block; nullopt when the record carries
      *  JSON null (platform could not measure) or predates the field.
      *  Null means "not comparable", never a measured zero. */
     std::optional<std::uint64_t> peakRssBytes;
+    /** Active SIMD dispatch level ("scalar"/"interleaved"/"avx2") from
+     *  the perf-4 config block; nullopt for older schemas. Records at
+     *  different levels time different kernels, so perf_check refuses
+     *  to compare them unless explicitly overridden. */
+    std::optional<std::string> simdLevel;
+    /** CPU feature summary from the perf-4 config block (diagnostic). */
+    std::optional<std::string> cpuFeatures;
 };
 
 /**

@@ -1,0 +1,142 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace youtiao::simd {
+
+namespace {
+
+/** -1 = not yet resolved; otherwise a Level value. */
+std::atomic<int> g_active{-1};
+std::mutex g_resolve_mutex;
+
+Level
+detectNativeLevel()
+{
+#if YOUTIAO_SIMD_HAVE_AVX2
+    if (__builtin_cpu_supports("avx2"))
+        return Level::Avx2;
+    return Level::Scalar;
+#elif defined(__aarch64__)
+    // AArch64 mandates NEON; the interleaved kernels vectorize there.
+    return Level::Interleaved;
+#else
+    return Level::Scalar;
+#endif
+}
+
+Level
+resolveFromEnvironment()
+{
+    const char *env = std::getenv("YOUTIAO_SIMD");
+    const std::string value = env == nullptr ? "auto" : env;
+    if (value == "auto" || value.empty())
+        return nativeLevel();
+    if (value == "scalar")
+        return Level::Scalar;
+    if (value == "native") {
+        const Level native = nativeLevel();
+        if (native == Level::Scalar) {
+            log::warn("YOUTIAO_SIMD=native but this CPU has no vector "
+                      "kernels; running scalar",
+                      {{"cpu_features", cpuFeatureString()}});
+        }
+        return native;
+    }
+    throw ConfigError("YOUTIAO_SIMD must be auto, scalar, or native "
+                      "(got \"" +
+                      value + "\")");
+}
+
+} // namespace
+
+Level
+nativeLevel()
+{
+    static const Level level = detectNativeLevel();
+    return level;
+}
+
+Level
+active()
+{
+    const int cached = g_active.load(std::memory_order_acquire);
+    if (cached >= 0)
+        return static_cast<Level>(cached);
+    std::lock_guard<std::mutex> lock(g_resolve_mutex);
+    const int again = g_active.load(std::memory_order_acquire);
+    if (again >= 0)
+        return static_cast<Level>(again);
+    const Level resolved = resolveFromEnvironment();
+    g_active.store(static_cast<int>(resolved), std::memory_order_release);
+    return resolved;
+}
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return "scalar";
+    case Level::Interleaved:
+        return "interleaved";
+    case Level::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+const std::string &
+cpuFeatureString()
+{
+    static const std::string features = [] {
+        std::string out;
+        const auto add = [&out](const char *name, bool present) {
+            if (!present)
+                return;
+            if (!out.empty())
+                out += ' ';
+            out += name;
+        };
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+        add("sse2", __builtin_cpu_supports("sse2"));
+        add("sse4.2", __builtin_cpu_supports("sse4.2"));
+        add("avx", __builtin_cpu_supports("avx"));
+        add("avx2", __builtin_cpu_supports("avx2"));
+        add("fma", __builtin_cpu_supports("fma"));
+        add("avx512f", __builtin_cpu_supports("avx512f"));
+#elif defined(__aarch64__)
+        add("neon", true);
+#else
+        add("generic", true);
+#endif
+        if (out.empty())
+            out = "generic";
+        return out;
+    }();
+    return features;
+}
+
+void
+setLevel(Level level)
+{
+    if (static_cast<int>(level) > static_cast<int>(nativeLevel()))
+        level = nativeLevel();
+    std::lock_guard<std::mutex> lock(g_resolve_mutex);
+    g_active.store(static_cast<int>(level), std::memory_order_release);
+}
+
+void
+resetFromEnvironment()
+{
+    std::lock_guard<std::mutex> lock(g_resolve_mutex);
+    g_active.store(-1, std::memory_order_release);
+}
+
+} // namespace youtiao::simd

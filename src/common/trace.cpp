@@ -264,12 +264,10 @@ Tracer::toJson() const
               case 'i':
                 out << ", \"s\": \"t\"";
                 break;
-              case 'C': {
-                char buf[64];
-                std::snprintf(buf, sizeof buf, "%.17g", e.value);
-                out << ", \"args\": {\"value\": " << buf << "}";
+              case 'C':
+                out << ", \"args\": {\"value\": "
+                    << json::formatDouble(e.value) << "}";
                 break;
-              }
               default:
                 break;
             }

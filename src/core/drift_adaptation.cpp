@@ -85,10 +85,12 @@ lineLeakage(std::size_t q, double f_ghz,
             const NoiseModel &noise)
 {
     double leak = 0.0;
-    for (const auto &e : neighborhood.neighbors(q)) {
-        if (e.sameLine)
+    const auto ids = neighborhood.neighborIds(q);
+    const auto mate = neighborhood.neighborSameLine(q);
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+        if (mate[k] != 0.0)
             leak += noise.sharedLineLeakage(
-                std::abs(f_ghz - frequency_ghz[e.other]));
+                std::abs(f_ghz - frequency_ghz[ids[k]]));
     }
     return leak;
 }

@@ -304,9 +304,13 @@ loadDesign(std::istream &in)
                       "missing cost");
     }
 
-    // Consistency: every per-qubit section must agree on the qubit
-    // count, and every map must agree with its group list, so a corrupt
-    // file cannot load "successfully".
+    validateDesign(design);
+    return design;
+}
+
+void
+validateDesign(const YoutiaoDesign &design)
+{
     const std::size_t qubits = design.xyPlan.lineOfQubit.size();
     requireConfig(design.frequencyPlan.frequencyGHz.size() == qubits &&
                       design.frequencyPlan.zoneOfQubit.size() == qubits &&
@@ -337,7 +341,6 @@ loadDesign(std::istream &in)
                           "readout plan map/group mismatch");
         }
     }
-    return design;
 }
 
 YoutiaoDesign

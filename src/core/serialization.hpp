@@ -46,6 +46,15 @@ YoutiaoDesign loadDesign(std::istream &in);
 YoutiaoDesign designFromString(const std::string &text);
 
 /**
+ * Structural consistency checks every loader runs before handing a
+ * design to callers: per-qubit sections must agree on the qubit count
+ * and every per-qubit/per-device map must match its group list, so a
+ * corrupt file (text or binary) cannot load "successfully". Throws
+ * ConfigError on the first violation.
+ */
+void validateDesign(const YoutiaoDesign &design);
+
+/**
  * Write @p map (a hierarchical tile assignment, see hierarchical.hpp) in
  * the same line-oriented key/value format as designs: lattice shape, cut
  * coordinates, then the per-qubit tile assignment.

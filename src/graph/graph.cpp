@@ -25,9 +25,12 @@ Graph::addEdge(std::size_t u, std::size_t v, double weight)
     checkVertex(u);
     checkVertex(v);
     requireConfig(u != v, "self-loops are not allowed");
-    requireConfig(!hasEdge(u, v),
-                  "duplicate edge (" + std::to_string(u) + ", " +
-                      std::to_string(v) + ")");
+    // Build the message only on failure: addEdge is on the chip- and
+    // device-graph construction hot path, where an unconditional
+    // to_string pair per edge dominated bulk loading.
+    if (hasEdge(u, v))
+        throw ConfigError("duplicate edge (" + std::to_string(u) +
+                          ", " + std::to_string(v) + ")");
     const std::size_t index = edges_.size();
     adjacency_[u].push_back(Incidence{v, index});
     adjacency_[v].push_back(Incidence{u, index});
@@ -134,8 +137,9 @@ Graph::connectedComponents() const
 void
 Graph::checkVertex(std::size_t v) const
 {
-    requireConfig(v < adjacency_.size(),
-                  "vertex " + std::to_string(v) + " out of range");
+    if (v >= adjacency_.size())
+        throw ConfigError("vertex " + std::to_string(v) +
+                          " out of range");
 }
 
 } // namespace youtiao

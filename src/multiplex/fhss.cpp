@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/metrics.hpp"
 #include "common/prng.hpp"
 
@@ -201,11 +202,9 @@ hopPlanToJson(const HopPlan &hop_plan)
         for (std::size_t m = 0; m < g.members.size(); ++m)
             out << (m == 0 ? "" : ", ") << g.members[m];
         out << "], \"channels_ghz\": [";
-        char buf[32];
-        for (std::size_t c = 0; c < g.channelsGHz.size(); ++c) {
-            std::snprintf(buf, sizeof buf, "%.6f", g.channelsGHz[c]);
-            out << (c == 0 ? "" : ", ") << buf;
-        }
+        for (std::size_t c = 0; c < g.channelsGHz.size(); ++c)
+            out << (c == 0 ? "" : ", ")
+                << json::formatDouble(g.channelsGHz[c]);
         out << "], \"sequence\": [";
         for (std::size_t s = 0; s < g.sequence.size(); ++s)
             out << (s == 0 ? "" : ", ") << g.sequence[s];

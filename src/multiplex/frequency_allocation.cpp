@@ -6,7 +6,12 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/simd.hpp"
 #include "common/units.hpp"
+
+#if YOUTIAO_SIMD_HAVE_AVX2
+#include <immintrin.h>
+#endif
 
 namespace youtiao {
 
@@ -25,39 +30,186 @@ CrosstalkNeighborhood::CrosstalkNeighborhood(
     // 0 the only skipped pairs contribute an exact +0.0, so sparse and
     // dense sums are bit-identical.
     for (std::size_t q = 0; q < n; ++q) {
-        offsets_[q] = entries_.size();
+        offsets_[q] = others_.size();
         for (std::size_t o = 0; o < n; ++o) {
             if (o == q)
                 continue;
             const double x = crosstalk(q, o);
             const bool mate = line_of_qubit[o] == line_of_qubit[q];
-            if (x > epsilon || mate)
-                entries_.push_back(Entry{static_cast<std::uint32_t>(o),
-                                         x, mate});
+            if (x > epsilon || mate) {
+                others_.push_back(static_cast<std::uint32_t>(o));
+                crosstalk_.push_back(x);
+                sameLine_.push_back(mate ? 1.0 : 0.0);
+            }
         }
     }
-    offsets_[n] = entries_.size();
+    offsets_[n] = others_.size();
 }
+
+namespace {
+
+/*
+ * Sparse cost kernels. The scalar bodies are the reference; the AVX2
+ * bodies compute the identical per-entry terms (same multiply/divide
+ * order, no FMA) four entries at a time, force skipped terms to an
+ * exact +0.0 with multiplicative masks, and then accumulate the lanes
+ * SERIALLY in entry order. Since every term and every partial sum is
+ * >= +0.0, adding a masked +0.0 term is bitwise equal to the scalar
+ * path's skipped add, so scalar and vector sums match to the last bit.
+ */
+
+#if YOUTIAO_SIMD_HAVE_AVX2
+
+/** Four indexed doubles as one vector, via scalar loads. Deliberately
+ *  NOT _mm256_i32gather_pd: on gather-mitigated cores the gather
+ *  microcode costs more than the whole cost expression, turning the
+ *  kernel ~2x slower than scalar. Four plain loads pipeline fine. */
+YOUTIAO_TARGET_AVX2 inline __m256d
+load4Indexed(const double *base, const std::uint32_t *ids)
+{
+    return _mm256_setr_pd(base[ids[0]], base[ids[1]], base[ids[2]],
+                          base[ids[3]]);
+}
+
+/** Masked spatial term of 4 entries: crosstalk * spectralOverlap(df),
+ *  zeroed where crosstalk <= 0 or the neighbour is unplaced. */
+YOUTIAO_TARGET_AVX2 inline __m256d
+spatialTermAvx2(__m256d f, __m256d f_other, __m256d xtalk,
+                __m256d placed_mask, double drive_linewidth)
+{
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    const __m256d ones = _mm256_set1_pd(1.0);
+    const __m256d df = _mm256_andnot_pd(sign, _mm256_sub_pd(f, f_other));
+    const __m256d x = _mm256_div_pd(
+        _mm256_mul_pd(_mm256_set1_pd(2.0), df),
+        _mm256_set1_pd(drive_linewidth));
+    const __m256d overlap = _mm256_div_pd(
+        ones, _mm256_add_pd(ones, _mm256_mul_pd(x, x)));
+    const __m256d keep =
+        _mm256_cmp_pd(xtalk, _mm256_setzero_pd(), _CMP_GT_OQ);
+    const __m256d term =
+        _mm256_and_pd(_mm256_mul_pd(xtalk, overlap), keep);
+    return _mm256_mul_pd(term, placed_mask);
+}
+
+YOUTIAO_TARGET_AVX2 double
+qubitCostAvx2(double f_ghz, const double *freq, const double *allocated,
+              const std::uint32_t *ids, const double *xtalk,
+              const double *same_line, std::size_t count,
+              const NoiseModelConfig &noise)
+{
+    const __m256d f = _mm256_set1_pd(f_ghz);
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    const __m256d ones = _mm256_set1_pd(1.0);
+    double cost = 0.0;
+    std::size_t k = 0;
+    alignas(32) double spatial[4];
+    alignas(32) double leak[4];
+    for (; k + 4 <= count; k += 4) {
+        const __m256d fo = load4Indexed(freq, ids + k);
+        const __m256d alloc = load4Indexed(allocated, ids + k);
+        const __m256d xt = _mm256_loadu_pd(xtalk + k);
+        _mm256_store_pd(
+            spatial,
+            spatialTermAvx2(f, fo, xt, alloc, noise.driveLinewidthGHz));
+        const __m256d df =
+            _mm256_andnot_pd(sign, _mm256_sub_pd(f, fo));
+        const __m256d y = _mm256_div_pd(
+            _mm256_mul_pd(_mm256_set1_pd(2.0), df),
+            _mm256_set1_pd(noise.filterLinewidthGHz));
+        const __m256d raw = _mm256_div_pd(
+            _mm256_set1_pd(noise.sharedLineLeakAmplitude),
+            _mm256_add_pd(ones, _mm256_mul_pd(y, y)));
+        const __m256d clamped = _mm256_min_pd(
+            _mm256_max_pd(raw, _mm256_setzero_pd()),
+            _mm256_set1_pd(0.5));
+        const __m256d sl = _mm256_loadu_pd(same_line + k);
+        _mm256_store_pd(
+            leak,
+            _mm256_mul_pd(_mm256_mul_pd(clamped, sl), alloc));
+        for (std::size_t lane = 0; lane < 4; ++lane) {
+            cost += spatial[lane];
+            cost += leak[lane];
+        }
+    }
+    for (; k < count; ++k) {
+        const std::size_t o = ids[k];
+        if (allocated[o] == 0.0)
+            continue;
+        const double df = std::abs(f_ghz - freq[o]);
+        const double x = 2.0 * df / noise.driveLinewidthGHz;
+        if (xtalk[k] > 0.0)
+            cost += xtalk[k] * (1.0 / (1.0 + x * x));
+        if (same_line[k] != 0.0) {
+            const double y = 2.0 * df / noise.filterLinewidthGHz;
+            cost += std::clamp(
+                noise.sharedLineLeakAmplitude / (1.0 + y * y), 0.0, 0.5);
+        }
+    }
+    return cost;
+}
+
+YOUTIAO_TARGET_AVX2 double
+pairCostAvx2(double f_ghz, const double *freq, const double *placed,
+             const std::uint32_t *ids, const double *xtalk,
+             std::size_t count, double drive_linewidth)
+{
+    const __m256d f = _mm256_set1_pd(f_ghz);
+    double cost = 0.0;
+    std::size_t k = 0;
+    alignas(32) double spatial[4];
+    for (; k + 4 <= count; k += 4) {
+        const __m256d fo = load4Indexed(freq, ids + k);
+        const __m256d pl = load4Indexed(placed, ids + k);
+        const __m256d xt = _mm256_loadu_pd(xtalk + k);
+        _mm256_store_pd(spatial,
+                        spatialTermAvx2(f, fo, xt, pl, drive_linewidth));
+        for (std::size_t lane = 0; lane < 4; ++lane)
+            cost += spatial[lane];
+    }
+    for (; k < count; ++k) {
+        const std::size_t o = ids[k];
+        if (placed[o] == 0.0 || xtalk[k] <= 0.0)
+            continue;
+        const double x =
+            2.0 * std::abs(f_ghz - freq[o]) / drive_linewidth;
+        cost += xtalk[k] * (1.0 / (1.0 + x * x));
+    }
+    return cost;
+}
+
+#endif // YOUTIAO_SIMD_HAVE_AVX2
+
+} // namespace
 
 IncrementalAllocationCost::IncrementalAllocationCost(
     const CrosstalkNeighborhood &neighborhood, const NoiseModel &noise)
     : neighborhood_(neighborhood),
       noise_(noise),
       frequencyGHz_(neighborhood.qubitCount(), 0.0),
-      placed_(neighborhood.qubitCount(), false)
+      placed_(neighborhood.qubitCount(), 0.0)
 {}
 
 double
 IncrementalAllocationCost::pairCostAgainstPlaced(std::size_t q,
                                                  double f_ghz) const
 {
+    const auto ids = neighborhood_.neighborIds(q);
+    const auto xtalk = neighborhood_.neighborCrosstalk(q);
+#if YOUTIAO_SIMD_HAVE_AVX2
+    if (simd::active() == simd::Level::Avx2) {
+        return pairCostAvx2(f_ghz, frequencyGHz_.data(), placed_.data(),
+                            ids.data(), xtalk.data(), ids.size(),
+                            noise_.config().driveLinewidthGHz);
+    }
+#endif
     double cost = 0.0;
-    for (const auto &e : neighborhood_.neighbors(q)) {
-        if (!placed_[e.other] || e.crosstalk <= 0.0)
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+        if (placed_[ids[k]] == 0.0 || xtalk[k] <= 0.0)
             continue;
-        cost += e.crosstalk *
-                noise_.spectralOverlap(std::abs(f_ghz -
-                                                frequencyGHz_[e.other]));
+        cost += xtalk[k] *
+                noise_.spectralOverlap(
+                    std::abs(f_ghz - frequencyGHz_[ids[k]]));
     }
     return cost;
 }
@@ -65,23 +217,23 @@ IncrementalAllocationCost::pairCostAgainstPlaced(std::size_t q,
 void
 IncrementalAllocationCost::place(std::size_t q, double f_ghz)
 {
-    requireInternal(q < placed_.size() && !placed_[q],
+    requireInternal(q < placed_.size() && placed_[q] == 0.0,
                     "qubit placed twice in the incremental cost");
     total_ += pairCostAgainstPlaced(q, f_ghz);
     frequencyGHz_[q] = f_ghz;
-    placed_[q] = true;
+    placed_[q] = 1.0;
 }
 
 void
 IncrementalAllocationCost::move(std::size_t q, double f_ghz)
 {
-    requireInternal(q < placed_.size() && placed_[q],
+    requireInternal(q < placed_.size() && placed_[q] == 1.0,
                     "cannot move an unplaced qubit");
-    placed_[q] = false;
+    placed_[q] = 0.0;
     total_ -= pairCostAgainstPlaced(q, frequencyGHz_[q]);
     total_ += pairCostAgainstPlaced(q, f_ghz);
     frequencyGHz_[q] = f_ghz;
-    placed_[q] = true;
+    placed_[q] = 1.0;
 }
 
 namespace {
@@ -103,18 +255,28 @@ cellFrequency(std::size_t zone, std::size_t cell, double lo,
  */
 double
 qubitCost(std::size_t q, double f, const std::vector<double> &freq,
-          const std::vector<bool> &allocated,
+          const std::vector<double> &allocated,
           const CrosstalkNeighborhood &neighborhood,
           const NoiseModel &noise)
 {
+    const auto ids = neighborhood.neighborIds(q);
+    const auto xtalk = neighborhood.neighborCrosstalk(q);
+    const auto mate = neighborhood.neighborSameLine(q);
+#if YOUTIAO_SIMD_HAVE_AVX2
+    if (simd::active() == simd::Level::Avx2) {
+        return qubitCostAvx2(f, freq.data(), allocated.data(),
+                             ids.data(), xtalk.data(), mate.data(),
+                             ids.size(), noise.config());
+    }
+#endif
     double cost = 0.0;
-    for (const auto &e : neighborhood.neighbors(q)) {
-        if (!allocated[e.other])
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+        if (allocated[ids[k]] == 0.0)
             continue;
-        const double df = std::abs(f - freq[e.other]);
-        if (e.crosstalk > 0.0)
-            cost += e.crosstalk * noise.spectralOverlap(df);
-        if (e.sameLine)
+        const double df = std::abs(f - freq[ids[k]]);
+        if (xtalk[k] > 0.0)
+            cost += xtalk[k] * noise.spectralOverlap(df);
+        if (mate[k] != 0.0)
             cost += noise.sharedLineLeakage(df);
     }
     return cost;
@@ -176,7 +338,7 @@ allocateFrequencies(const FdmPlan &plan,
     out.frequencyGHz.assign(n, 0.0);
     out.zoneOfQubit.assign(n, 0);
     out.cellOfQubit.assign(n, 0);
-    std::vector<bool> allocated(n, false);
+    std::vector<double> allocated(n, 0.0);
 
     const CrosstalkNeighborhood neighborhood(
         predicted_crosstalk, plan.lineOfQubit, config.sparseEpsilon);
@@ -218,7 +380,7 @@ allocateFrequencies(const FdmPlan &plan,
             out.frequencyGHz[q] = cellFrequency(zone, best_cell,
                                                 config.loGHz, zone_width,
                                                 cell_ghz);
-            allocated[q] = true;
+            allocated[q] = 1.0;
             running.place(q, out.frequencyGHz[q]);
         }
     }
@@ -296,7 +458,7 @@ allocateFrequenciesConstrained(const FdmPlan &plan,
     out.frequencyGHz.assign(n, 0.0);
     out.zoneOfQubit.assign(n, 0);
     out.cellOfQubit.assign(n, 0);
-    std::vector<bool> allocated(n, false);
+    std::vector<double> allocated(n, 0.0);
     const double cell_ghz = config.cellMHz * units::MHz;
 
     const CrosstalkNeighborhood neighborhood(
@@ -345,7 +507,7 @@ allocateFrequenciesConstrained(const FdmPlan &plan,
                            config.hiGHz - config.loGHz - 1e-9);
             out.zoneOfQubit[q] =
                 static_cast<std::size_t>(offset / zone_width);
-            allocated[q] = true;
+            allocated[q] = 1.0;
         }
     }
     out.crosstalkCost = allocationCrosstalkCost(out.frequencyGHz,

@@ -69,37 +69,53 @@ struct FrequencyAllocationConfig
  * line mates (which always contribute in-line pulse leakage regardless
  * of spatial crosstalk), stored CSR-style in ascending qubit order so a
  * sparse cost scan visits pairs in exactly the dense scan's order.
+ *
+ * Storage is struct-of-arrays: the cost kernels stream the crosstalk
+ * and line-mate arrays contiguously (and gather frequencies by the id
+ * array), so the same layout feeds the scalar loop and the SIMD
+ * kernels. The line-mate flag is kept as a 0.0/1.0 double so vector
+ * code applies it with a multiply instead of a branch.
  */
 class CrosstalkNeighborhood
 {
   public:
-    struct Entry
-    {
-        std::uint32_t other = 0;
-        /** Pairwise crosstalk; 0 when kept only as a line mate. */
-        double crosstalk = 0.0;
-        /** True when `other` shares this qubit's FDM line. */
-        bool sameLine = false;
-    };
-
     CrosstalkNeighborhood(const SymmetricMatrix &crosstalk,
                           const std::vector<std::size_t> &line_of_qubit,
                           double epsilon);
 
-    std::span<const Entry> neighbors(std::size_t q) const
+    /** Neighbour qubit ids of @p q, ascending. */
+    std::span<const std::uint32_t> neighborIds(std::size_t q) const
     {
-        return {entries_.data() + offsets_[q],
-                offsets_[q + 1] - offsets_[q]};
+        return {others_.data() + offsets_[q], degree(q)};
+    }
+
+    /** Pairwise crosstalk per neighbour (0 for pure line mates). */
+    std::span<const double> neighborCrosstalk(std::size_t q) const
+    {
+        return {crosstalk_.data() + offsets_[q], degree(q)};
+    }
+
+    /** 1.0 when the neighbour shares q's FDM line, else 0.0. */
+    std::span<const double> neighborSameLine(std::size_t q) const
+    {
+        return {sameLine_.data() + offsets_[q], degree(q)};
+    }
+
+    std::size_t degree(std::size_t q) const
+    {
+        return offsets_[q + 1] - offsets_[q];
     }
 
     std::size_t qubitCount() const { return offsets_.size() - 1; }
     double epsilon() const { return epsilon_; }
     /** Directed entries kept (diagnostic; dense scan would be n*(n-1)). */
-    std::size_t entryCount() const { return entries_.size(); }
+    std::size_t entryCount() const { return others_.size(); }
 
   private:
     std::vector<std::size_t> offsets_;
-    std::vector<Entry> entries_;
+    std::vector<std::uint32_t> others_;
+    std::vector<double> crosstalk_;
+    std::vector<double> sameLine_;
     double epsilon_ = 0.0;
 };
 
@@ -130,7 +146,9 @@ class IncrementalAllocationCost
     const CrosstalkNeighborhood &neighborhood_;
     const NoiseModel &noise_;
     std::vector<double> frequencyGHz_;
-    std::vector<bool> placed_;
+    /** 1.0 = placed, 0.0 = not -- a gatherable mask, same trick as
+     *  CrosstalkNeighborhood::neighborSameLine. */
+    std::vector<double> placed_;
     double total_ = 0.0;
 };
 

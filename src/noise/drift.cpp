@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/metrics.hpp"
 #include "common/prng.hpp"
 
@@ -116,21 +117,19 @@ std::string
 driftTraceToJson(const DriftTrace &trace)
 {
     std::ostringstream out;
-    char buf[128];
     out << "{\n  \"schema\": \"youtiao-drift-1\",\n  \"seed\": "
         << trace.config.seed << ",\n  \"epochs\": " << trace.config.epochs
-        << ",\n  \"hours_per_epoch\": ";
-    std::snprintf(buf, sizeof buf, "%g", trace.config.hoursPerEpoch);
-    out << buf << ",\n  \"qubit_count\": " << trace.qubitCount
+        << ",\n  \"hours_per_epoch\": "
+        << json::formatDouble(trace.config.hoursPerEpoch)
+        << ",\n  \"qubit_count\": " << trace.qubitCount
         << ",\n  \"defects\": [";
     for (std::size_t i = 0; i < trace.defects.size(); ++i) {
         const TlsDefect &d = trace.defects[i];
-        std::snprintf(buf, sizeof buf,
-                      "\"frequency_ghz\": %.6f, \"strength\": %.6g, "
-                      "\"linewidth_ghz\": %.6g",
-                      d.frequencyGHz, d.strength, d.linewidthGHz);
         out << (i == 0 ? "\n" : ",\n") << "    {\"qubit\": " << d.qubit
-            << ", " << buf << ", \"born_epoch\": " << d.bornEpoch
+            << ", \"frequency_ghz\": " << json::formatDouble(d.frequencyGHz)
+            << ", \"strength\": " << json::formatDouble(d.strength)
+            << ", \"linewidth_ghz\": " << json::formatDouble(d.linewidthGHz)
+            << ", \"born_epoch\": " << d.bornEpoch
             << ", \"dies_epoch\": " << d.diesEpoch << ", \"masks_band\": "
             << (d.masksBand ? "true" : "false") << "}";
     }

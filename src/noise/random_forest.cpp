@@ -1,11 +1,15 @@
 #include "noise/random_forest.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <numeric>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "common/trace.hpp"
 
 namespace youtiao {
@@ -60,6 +64,87 @@ RandomForest::fit(std::span<const double> features,
     roots_.reserve(trees_.size());
     for (const DecisionTree &tree : trees_)
         roots_.push_back(tree.appendFlattened(flat_));
+
+    splitOffsets_.clear();
+    leafOffsets_.clear();
+    splitPoints_.clear();
+    leafValues_.clear();
+    if (featureCount_ == 1)
+        buildSingleFeatureTables();
+}
+
+void
+RandomForest::buildSingleFeatureTables()
+{
+    splitOffsets_.assign(1, 0);
+    leafOffsets_.assign(1, 0);
+    for (const std::uint32_t root : roots_) {
+        // Iterative in-order walk: with one feature every split key is
+        // on the same axis, so thresholds come out strictly increasing
+        // and leaves left to right -- the tree IS an interval table.
+        std::vector<std::pair<std::uint32_t, bool>> stack;
+        stack.emplace_back(root, false);
+        while (!stack.empty()) {
+            const auto [at, emit] = stack.back();
+            stack.pop_back();
+            if (flat_.feature[at] == FlatTreeNodes::kFlatLeaf) {
+                leafValues_.push_back(flat_.value[at]);
+                continue;
+            }
+            if (emit) {
+                splitPoints_.push_back(flat_.threshold[at]);
+                continue;
+            }
+            stack.emplace_back(flat_.right[at], false);
+            stack.emplace_back(at, true);
+            stack.emplace_back(flat_.left[at], false);
+        }
+        const std::size_t split_begin = splitOffsets_.back();
+        const std::size_t leaf_begin = leafOffsets_.back();
+        splitOffsets_.push_back(splitPoints_.size());
+        leafOffsets_.push_back(leafValues_.size());
+        requireInternal(leafValues_.size() - leaf_begin ==
+                            splitPoints_.size() - split_begin + 1,
+                        "interval table: leaves must be splits + 1");
+        for (std::size_t s = split_begin + 1; s < splitPoints_.size();
+             ++s)
+            requireInternal(splitPoints_[s - 1] < splitPoints_[s],
+                            "interval table: splits must increase");
+    }
+}
+
+void
+RandomForest::predictMergeRange(std::span<const double> features,
+                                std::span<double> out, std::size_t begin,
+                                std::size_t end) const
+{
+    const std::size_t n = end - begin;
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return features[begin + a] < features[begin + b];
+              });
+    std::vector<double> sums(n, 0.0);
+    for (std::size_t t = 0; t < roots_.size(); ++t) {
+        const double *splits = splitPoints_.data() + splitOffsets_[t];
+        const std::size_t split_count =
+            splitOffsets_[t + 1] - splitOffsets_[t];
+        const double *leaves = leafValues_.data() + leafOffsets_[t];
+        // Two-pointer sweep: rows ascend, so the split cursor only
+        // moves forward; `x <= splits[j]` lands in leaf j exactly like
+        // the walk's `<=`-goes-left rule.
+        std::size_t j = 0;
+        for (const std::uint32_t i : order) {
+            const double x = features[begin + i];
+            while (j < split_count && splits[j] < x)
+                ++j;
+            sums[i] += leaves[j];
+        }
+    }
+    const auto tree_count = static_cast<double>(roots_.size());
+    for (std::size_t i = 0; i < n; ++i)
+        out[begin + i] = sums[i] / tree_count;
 }
 
 double
@@ -87,11 +172,48 @@ RandomForest::predictBatch(std::span<const double> features,
     const metrics::ScopedTimer timer("noise.forest_predict");
     metrics::count("noise.rows_predicted", out.size());
     const auto tree_count = static_cast<double>(roots_.size());
+    const simd::Level level = simd::active();
     // Rows are independent and each writes only its own slot, so chunking
     // is deterministic; within a row trees accumulate in tree order and
-    // divide exactly as predict() does, matching it bit for bit.
+    // divide exactly as predict() does, matching it bit for bit. The
+    // 4-row lockstep kernels keep each lane on the scalar walk, so block
+    // boundaries (and hence thread counts) cannot change any row.
     parallelChunks(0, out.size(), 0, [&](std::size_t b, std::size_t e) {
-        for (std::size_t r = b; r < e; ++r) {
+        // Single-feature forests take the interval-table sweep: sort
+        // the block by x and advance each tree's split cursor once,
+        // replacing per-row chains of dependent random loads with
+        // sequential scans. NaN rows would foil the sort (and belong
+        // in every tree's rightmost leaf), so such blocks fall back to
+        // the walk -- which computes the identical values anyway.
+        if (level != simd::Level::Scalar && featureCount_ == 1 &&
+            e - b >= 8 &&
+            std::none_of(features.begin() +
+                             static_cast<std::ptrdiff_t>(b),
+                         features.begin() +
+                             static_cast<std::ptrdiff_t>(e),
+                         [](double x) { return std::isnan(x); })) {
+            predictMergeRange(features, out, b, e);
+            return;
+        }
+        std::size_t r = b;
+        if (level != simd::Level::Scalar) {
+            // The 4-row lockstep kernel serves every vector level: a
+            // tree walk is a chain of dependent random loads, so the
+            // only exploitable parallelism is across rows. A
+            // gather-based AVX2 walk was tried and retired -- on
+            // gather-mitigated cores the microcoded gathers made it
+            // ~3x slower than scalar.
+            double sums[4];
+            for (; r + 4 <= e; r += 4) {
+                const double *rows =
+                    features.data() + r * feature_count;
+                predictRows4Interleaved(flat_, roots_, rows,
+                                        feature_count, sums);
+                for (std::size_t lane = 0; lane < 4; ++lane)
+                    out[r + lane] = sums[lane] / tree_count;
+            }
+        }
+        for (; r < e; ++r) {
             const std::span<const double> row =
                 features.subspan(r * feature_count, feature_count);
             double sum = 0.0;

@@ -60,12 +60,33 @@ class RandomForest
     std::size_t treeCount() const { return trees_.size(); }
 
   private:
+    /** Build the per-tree interval tables backing the single-feature
+     *  batch path; called by fit() when featureCount_ == 1. */
+    void buildSingleFeatureTables();
+
+    /** Merge-based batch prediction over rows [begin, end): sorts the
+     *  block by feature value and sweeps each tree's interval table
+     *  once. Requires the tables and NaN-free inputs; bit-identical to
+     *  the per-row walk. */
+    void predictMergeRange(std::span<const double> features,
+                           std::span<double> out, std::size_t begin,
+                           std::size_t end) const;
+
     RandomForestConfig config_;
     std::vector<DecisionTree> trees_;
     /** SoA node pool built at the end of fit(); predict walks this. */
     FlatTreeNodes flat_;
     std::vector<std::uint32_t> roots_;
     std::size_t featureCount_ = 0;
+    /**
+     * Single-feature interval tables (CSR over trees), built by fit()
+     * when featureCount_ == 1: a one-feature tree partitions the line
+     * at its in-order internal thresholds, so tree t maps x to
+     * leafValues_[leafOffsets_[t] + #(splits of t < x)]. The batch
+     * kernel sweeps these tables instead of walking node chains.
+     */
+    std::vector<std::size_t> splitOffsets_, leafOffsets_;
+    std::vector<double> splitPoints_, leafValues_;
 };
 
 } // namespace youtiao

@@ -101,8 +101,10 @@ TEST(Metrics, JsonReportHasSchemaConfigPhasesCounters)
     }
     metrics::count("json.counter", 42);
     const std::string json = metrics::jsonReport("unit_test");
-    EXPECT_NE(json.find("\"schema\": \"youtiao-perf-3\""),
+    EXPECT_NE(json.find("\"schema\": \"youtiao-perf-4\""),
               std::string::npos);
+    EXPECT_NE(json.find("\"simd_level\":"), std::string::npos);
+    EXPECT_NE(json.find("\"cpu_features\":"), std::string::npos);
     EXPECT_NE(json.find("\"benchmark\": \"unit_test\""),
               std::string::npos);
     EXPECT_NE(json.find("\"threads\":"), std::string::npos);

@@ -24,8 +24,13 @@ TEST(PerfRecord, ParsesLiveJsonReport)
     metrics::observe("hist.latency", 2.0);
     const PerfRecord record =
         parsePerfRecord(metrics::jsonReport("round_trip"));
-    EXPECT_EQ(record.schema, "youtiao-perf-3");
+    EXPECT_EQ(record.schema, "youtiao-perf-4");
     EXPECT_EQ(record.benchmark, "round_trip");
+    // perf-4 config block: the live report always stamps the active
+    // SIMD level and the host CPU feature summary.
+    ASSERT_TRUE(record.simdLevel.has_value());
+    EXPECT_FALSE(record.simdLevel->empty());
+    ASSERT_TRUE(record.cpuFeatures.has_value());
     ASSERT_EQ(record.phases.count("phase.alpha"), 1u);
     ASSERT_EQ(record.phases.count("phase.beta"), 1u);
     EXPECT_EQ(record.phases.at("phase.alpha").calls, 1u);
@@ -205,6 +210,37 @@ TEST(PerfRecord, RejectsBadHistogramBucketKeys)
             "buckets": {"64": 1}}}
     })"),
                  ConfigError);
+}
+
+TEST(PerfRecord, ParsesPerf4SimdFields)
+{
+    const PerfRecord record = parsePerfRecord(R"({
+        "schema": "youtiao-perf-4",
+        "benchmark": "simd",
+        "config": {"threads": 1, "peak_rss_bytes": 1,
+                   "simd_level": "avx2",
+                   "cpu_features": "avx2 fma"},
+        "phases": {}, "counters": {}
+    })");
+    ASSERT_TRUE(record.simdLevel.has_value());
+    EXPECT_EQ(*record.simdLevel, "avx2");
+    ASSERT_TRUE(record.cpuFeatures.has_value());
+    EXPECT_EQ(*record.cpuFeatures, "avx2 fma");
+}
+
+TEST(PerfRecord, OlderSchemasCarryNoSimdLevel)
+{
+    // perf-1..3 predate SIMD dispatch; the parser must leave the fields
+    // unset instead of inventing a level (perf_check treats "unknown"
+    // as compatible with anything).
+    const PerfRecord record = parsePerfRecord(R"({
+        "schema": "youtiao-perf-3",
+        "benchmark": "old",
+        "config": {"threads": 1},
+        "phases": {}, "counters": {}
+    })");
+    EXPECT_FALSE(record.simdLevel.has_value());
+    EXPECT_FALSE(record.cpuFeatures.has_value());
 }
 
 TEST(PerfRecord, AcceptsLegacySchemaV1)

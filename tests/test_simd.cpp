@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Bit-identity property tests for the SIMD dispatch layer: every
+ * vectorized hot path (statevector kernels, forest batch prediction,
+ * frequency-allocation cost) must produce byte-for-byte the same
+ * doubles as the scalar bodies, at every thread count. If any of these
+ * tests fail, a vector kernel drifted from its scalar twin and the
+ * "SIMD level is a pure performance knob" contract
+ * (src/common/simd.hpp) is broken.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "chip/topology_builder.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/simd.hpp"
+#include "core/serialization.hpp"
+#include "core/youtiao.hpp"
+#include "noise/random_forest.hpp"
+#include "sim/statevector.hpp"
+
+namespace youtiao {
+namespace {
+
+/** All (level, threads) combinations a run must agree across. */
+struct Combo
+{
+    simd::Level level;
+    std::size_t threads;
+};
+
+std::vector<Combo>
+combos()
+{
+    return {
+        {simd::Level::Scalar, 1},
+        {simd::Level::Scalar, 4},
+        {simd::nativeLevel(), 1},
+        {simd::nativeLevel(), 4},
+    };
+}
+
+/** Run @p fn under each combo and require byte-identical doubles. */
+template <typename Fn>
+void
+expectBitIdentical(Fn &&fn)
+{
+    std::vector<double> reference;
+    for (const Combo &combo : combos()) {
+        simd::setLevel(combo.level);
+        ThreadPool::setGlobalThreadCount(combo.threads);
+        const std::vector<double> out = fn();
+        if (reference.empty()) {
+            reference = out;
+            continue;
+        }
+        ASSERT_EQ(out.size(), reference.size());
+        EXPECT_EQ(std::memcmp(out.data(), reference.data(),
+                              out.size() * sizeof(double)),
+                  0)
+            << "level=" << simd::levelName(combo.level)
+            << " threads=" << combo.threads;
+    }
+    simd::resetFromEnvironment();
+    ThreadPool::setGlobalThreadCount(0);
+}
+
+TEST(Simd, LevelNamesRoundTrip)
+{
+    EXPECT_STREQ(simd::levelName(simd::Level::Scalar), "scalar");
+    EXPECT_STRNE(simd::levelName(simd::nativeLevel()), "");
+}
+
+TEST(Simd, SetLevelClampsToNative)
+{
+    simd::setLevel(simd::Level::Avx2);
+    EXPECT_LE(static_cast<int>(simd::active()),
+              static_cast<int>(simd::nativeLevel()));
+    simd::resetFromEnvironment();
+}
+
+TEST(Simd, MalformedEnvironmentThrows)
+{
+    ::setenv("YOUTIAO_SIMD", "turbo", 1);
+    simd::resetFromEnvironment();
+    EXPECT_THROW((void)simd::active(), ConfigError);
+    ::unsetenv("YOUTIAO_SIMD");
+    simd::resetFromEnvironment();
+}
+
+TEST(Simd, StatevectorBitIdentical)
+{
+    expectBitIdentical([] {
+        QuantumCircuit qc(10);
+        for (std::size_t layer = 0; layer < 4; ++layer) {
+            for (std::size_t q = 0; q < 10; ++q) {
+                qc.rx(q, 0.3 + 0.07 * static_cast<double>(q));
+                qc.rz(q, 0.11 * static_cast<double>(layer + 1));
+                qc.h(q);
+            }
+            for (std::size_t q = layer % 2; q + 1 < 10; q += 2)
+                qc.cz(q, q + 1);
+            qc.swap(layer, 9 - layer);
+        }
+        const StateVector state = simulate(qc);
+        std::vector<double> out;
+        out.reserve(2 * state.amplitudes().size());
+        for (const std::complex<double> &a : state.amplitudes()) {
+            out.push_back(a.real());
+            out.push_back(a.imag());
+        }
+        return out;
+    });
+}
+
+TEST(Simd, ForestPredictBatchBitIdentical)
+{
+    // Fit once (the fit is scalar either way); only predictBatch
+    // dispatches, so fitting outside the combo loop keeps the test
+    // focused on the traversal kernels.
+    std::vector<double> x, y;
+    for (int i = 0; i < 240; ++i) {
+        x.push_back(i * 0.17);
+        x.push_back((i % 13) * 0.9);
+        y.push_back((i % 7) * 0.25);
+    }
+    RandomForestConfig cfg;
+    cfg.treeCount = 9;
+    RandomForest forest(cfg);
+    Prng prng(41);
+    forest.fit(x, 2, y, prng);
+
+    // 101 rows: not a multiple of 4, so the scalar tail runs too.
+    std::vector<double> rows;
+    for (int i = 0; i < 101; ++i) {
+        rows.push_back(i * 0.31);
+        rows.push_back((i % 17) * 0.6);
+    }
+    expectBitIdentical([&] {
+        std::vector<double> out(101);
+        forest.predictBatch(rows, 2, out);
+        return out;
+    });
+}
+
+TEST(Simd, ForestSingleFeatureMergeBitIdentical)
+{
+    // feature_count 1 engages the interval-table sweep at vector
+    // levels (the crosstalk model's shape). Duplicate feature values,
+    // values equal to split thresholds, extremes, and one NaN block
+    // all must reproduce the scalar walk bit for bit.
+    std::vector<double> x, y;
+    for (int i = 0; i < 300; ++i) {
+        x.push_back(0.5 + (i % 83) * 0.21);
+        y.push_back((i % 11) * 0.4 - 1.0);
+    }
+    RandomForestConfig cfg;
+    cfg.treeCount = 12;
+    RandomForest forest(cfg);
+    Prng prng(17);
+    forest.fit(x, 1, y, prng);
+
+    std::vector<double> rows;
+    for (int i = 0; i < 257; ++i)
+        rows.push_back(0.3 + (i % 61) * 0.31); // many exact duplicates
+    rows.push_back(x[5]); // exactly on a training value / threshold
+    rows.push_back(-1e300);
+    rows.push_back(1e300);
+    rows.push_back(std::numeric_limits<double>::quiet_NaN());
+    expectBitIdentical([&] {
+        std::vector<double> out(rows.size());
+        forest.predictBatch(rows, 1, out);
+        return out;
+    });
+}
+
+TEST(Simd, FullDesignByteIdentical)
+{
+    // End-to-end: the whole designer (forest fit + predict, frequency
+    // allocation, TDM, readout) serialized to text must not change by
+    // one byte across SIMD levels and thread counts.
+    const ChipTopology chip = makeSquareGrid(5, 5);
+    std::string reference;
+    for (const Combo &combo : combos()) {
+        simd::setLevel(combo.level);
+        ThreadPool::setGlobalThreadCount(combo.threads);
+        Prng prng(99);
+        const ChipCharacterization data = characterizeChip(chip, prng);
+        YoutiaoConfig config;
+        config.fit.forest.treeCount = 10;
+        const YoutiaoDesign design =
+            YoutiaoDesigner(config).design(chip, data);
+        const std::string text = designToString(design);
+        if (reference.empty()) {
+            reference = text;
+            continue;
+        }
+        EXPECT_EQ(text, reference)
+            << "level=" << simd::levelName(combo.level)
+            << " threads=" << combo.threads;
+    }
+    simd::resetFromEnvironment();
+    ThreadPool::setGlobalThreadCount(0);
+}
+
+} // namespace
+} // namespace youtiao

@@ -5,20 +5,29 @@
  *
  *   perf_check --baseline FILE --current FILE
  *              [--max-regression R] [--min-seconds S]
+ *              [--allow-simd-mismatch]
  *
  * Both files are `BENCH_<name>.json` records (docs/FILE_FORMATS.md,
- * schemas youtiao-perf-1 through -3 accepted). Every baseline phase
+ * schemas youtiao-perf-1 through -4 accepted). Every baseline phase
  * with at least S seconds of wall time (default 0.01 -- faster phases
  * are timing noise) is compared; the check fails when any current
  * phase exceeds baseline * (1 + R) (default R = 0.25). Baseline phases
- * the current run never recorded are reported as warnings but do not
- * fail the check (a renamed phase should update the baseline, not
- * break every PR). Phases that got notably *faster* (below
+ * the current run never recorded are hard failures, each named in a
+ * MISSING line: a silently dropped phase would otherwise exempt itself
+ * from its own budget forever (a renamed phase must update the
+ * baseline in the same PR). Phases that got notably *faster* (below
  * baseline * (1 - R)) are reported as IMPROVEMENT lines so a stale
  * baseline gets refreshed instead of hiding later regressions inside
  * the slack; improvements never fail the check.
  *
- * Exit codes: 0 within budget, 1 regression found, 2 usage / bad input.
+ * When both records carry a perf-4 `simd_level` and the levels differ,
+ * the comparison is refused (exit 2): the two runs timed different
+ * kernels, so a ratio between them is not a regression signal.
+ * `--allow-simd-mismatch` overrides this for intentional cross-level
+ * comparisons (e.g. quantifying the native-vs-scalar speedup in CI).
+ *
+ * Exit codes: 0 within budget, 1 regression or missing phase found,
+ * 2 usage / bad input / refused SIMD-level mismatch.
  */
 
 #include <cstdio>
@@ -37,9 +46,12 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --baseline FILE --current FILE\n"
                  "          [--max-regression R] [--min-seconds S]\n"
+                 "          [--allow-simd-mismatch]\n"
                  "  R: allowed slowdown fraction (default 0.25 = +25%%)\n"
                  "  S: ignore phases faster than S seconds in the "
-                 "baseline (default 0.01)\n",
+                 "baseline (default 0.01)\n"
+                 "  --allow-simd-mismatch: compare records taken at\n"
+                 "     different SIMD dispatch levels anyway\n",
                  argv0);
     std::exit(2);
 }
@@ -55,6 +67,7 @@ main(int argc, char **argv)
     std::string current_path;
     double max_regression = 0.25;
     double min_seconds = 0.01;
+    bool allow_simd_mismatch = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -74,6 +87,8 @@ main(int argc, char **argv)
             else if (arg == "--min-seconds")
                 min_seconds =
                     parsePositiveDoubleArg(next(), "--min-seconds");
+            else if (arg == "--allow-simd-mismatch")
+                allow_simd_mismatch = true;
             else
                 usage(argv[0]);
         }
@@ -94,6 +109,28 @@ main(int argc, char **argv)
                          baseline.benchmark.c_str(),
                          current.benchmark.c_str());
 
+        // A scalar-vs-avx2 ratio measures the dispatch level, not a
+        // code change; refuse it unless the caller asked for exactly
+        // that comparison. Records predating perf-4 carry no level.
+        if (baseline.simdLevel.has_value() &&
+            current.simdLevel.has_value() &&
+            *baseline.simdLevel != *current.simdLevel) {
+            if (!allow_simd_mismatch) {
+                std::fprintf(stderr,
+                             "error: SIMD level mismatch (baseline "
+                             "'%s' vs current '%s'); rerun with "
+                             "YOUTIAO_SIMD matching the baseline or "
+                             "pass --allow-simd-mismatch\n",
+                             baseline.simdLevel->c_str(),
+                             current.simdLevel->c_str());
+                return 2;
+            }
+            std::printf("note: comparing across SIMD levels "
+                        "('%s' baseline vs '%s' current)\n",
+                        baseline.simdLevel->c_str(),
+                        current.simdLevel->c_str());
+        }
+
         // Peak RSS is informational: null (platform could not measure)
         // means "not comparable", never a zero-byte measurement.
         if (baseline.peakRssBytes.has_value() &&
@@ -111,10 +148,9 @@ main(int argc, char **argv)
         const PerfComparison cmp = comparePerfRecords(
             baseline, current, max_regression, min_seconds);
         for (const std::string &name : cmp.missingPhases)
-            std::fprintf(stderr,
-                         "warning: phase '%s' in baseline but not in "
-                         "current run\n",
-                         name.c_str());
+            std::printf("MISSING    %-40s in baseline but not in "
+                        "current run\n",
+                        name.c_str());
         std::printf("perf_check %s: %zu phase(s) compared "
                     "(budget +%.0f%%, floor %gs)\n",
                     current.benchmark.c_str(), cmp.comparedPhases,
@@ -128,7 +164,7 @@ main(int argc, char **argv)
                         "the baseline; consider refreshing "
                         "bench/baselines/ so the budget stays tight\n",
                         cmp.improvements.size());
-        if (cmp.regressions.empty()) {
+        if (cmp.regressions.empty() && cmp.missingPhases.empty()) {
             std::printf("perf_check OK\n");
             return 0;
         }
@@ -136,6 +172,11 @@ main(int argc, char **argv)
             std::printf("REGRESSION %-40s %.4fs -> %.4fs (%.0f%%)\n",
                         r.phase.c_str(), r.baselineSeconds,
                         r.currentSeconds, (r.ratio - 1.0) * 100.0);
+        if (!cmp.missingPhases.empty())
+            std::printf("perf_check FAILED: %zu baseline phase(s) "
+                        "missing from the current run (update the "
+                        "baseline if a phase was renamed)\n",
+                        cmp.missingPhases.size());
         return 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -56,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "chip/chip_bin.hpp"
 #include "chip/chip_io.hpp"
 #include "chip/topology_builder.hpp"
 #include "common/cli_parse.hpp"
@@ -84,8 +85,9 @@ usage(const char *argv0)
         "low-density|grid]\n"
         "          [--rows N] [--cols N] [--seed S] [--capacity K] "
         "[--theta T] [--compare]\n"
-        "          [--save FILE] [--chip FILE] [--profile] "
-        "[--repeat N] [--route]\n"
+        "          [--save FILE] [--chip FILE] [--save-chip-bin FILE] "
+        "[--profile]\n"
+        "          [--repeat N] [--route]\n"
         "          [--hierarchical] [--tile-size N]\n"
         "          [--hop] [--hop-save FILE] [--drift-trace FILE] "
         "[--drift-epochs N]\n"
@@ -93,6 +95,10 @@ usage(const char *argv0)
         "          [--log-level error|warn|info|debug]\n"
         "  --rows/--cols/--capacity take integers >= 1, --theta a "
         "positive number;\n"
+        "  --chip loads a chip file, text or binary (recognized by "
+        "magic);\n"
+        "  --save-chip-bin writes the chip as a binary YTCHPBIN file "
+        "and exits;\n"
         "  --profile appends the per-phase wall-clock table, counters "
         "and histograms;\n"
         "  --repeat N (requires --profile) re-runs the design N times "
@@ -169,6 +175,7 @@ main(int argc, char **argv)
     std::size_t repeat = 1;
     std::string save_path;
     std::string chip_path;
+    std::string save_chip_bin_path;
     std::string trace_path;
     std::string fault_spec;
     bool hop = false;
@@ -212,6 +219,8 @@ main(int argc, char **argv)
                 save_path = next();
             else if (arg == "--chip")
                 chip_path = next();
+            else if (arg == "--save-chip-bin")
+                save_chip_bin_path = next();
             else if (arg == "--hop")
                 hop = true;
             else if (arg == "--hop-save")
@@ -289,22 +298,25 @@ main(int argc, char **argv)
         if (chip_path.empty()) {
             chip = makeTopology(family, rows, cols);
         } else {
-            std::ifstream in(chip_path);
-            if (!in) {
-                // A chip file that cannot be read is a bad argument,
-                // same exit code as any other unusable flag value.
-                std::fprintf(stderr, "error: cannot read %s\n",
-                             chip_path.c_str());
-                return 2;
-            }
             try {
-                chip = loadChip(in);
+                // Text or binary, told apart by the leading magic.
+                chip = loadChipAuto(chip_path);
             } catch (const ConfigError &e) {
-                // A chip file that does not parse is a bad argument,
-                // reported structurally with a usage exit code.
+                // A chip file that cannot be read or does not parse is
+                // a bad argument, reported with a usage exit code.
                 std::fprintf(stderr, "error: %s\n", e.what());
                 return 2;
             }
+        }
+        if (!save_chip_bin_path.empty()) {
+            // Conversion mode: write the chip (built or loaded) as a
+            // binary file and stop -- no design work.
+            saveChipBinary(save_chip_bin_path, chip);
+            std::printf("chip saved to %s (%zu qubits, %zu couplers, "
+                        "binary)\n",
+                        save_chip_bin_path.c_str(), chip.qubitCount(),
+                        chip.couplerCount());
+            return 0;
         }
         if (!trace_path.empty())
             trace::Tracer::global().enable();
