@@ -327,7 +327,7 @@ BENCHMARK(BM_GenerativePartition)->Arg(6)->Arg(10)
 int
 main(int argc, char **argv)
 {
-    youtiao::bench::PerfReport perf("ablations");
+    youtiao::bench::PerfReport perf("ablations", argc, argv);
     ablationPartition();
     ablationSwapPasses();
     ablationNoisyNonParallelism();

@@ -10,15 +10,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "chip/topology.hpp"
+#include "common/flight.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/runledger.hpp"
 #include "common/trace.hpp"
+#include "common/watchdog.hpp"
 #include "core/config.hpp"
 #include "core/youtiao.hpp"
 #include "noise/crosstalk_data.hpp"
@@ -29,12 +33,20 @@ namespace youtiao::bench {
  * Machine-readable perf record for one bench binary. Construct at the
  * top of main() (resets the metrics registry so the record covers only
  * this run); the destructor writes the merged phase timers, counters,
- * and histograms to `BENCH_<name>.json` (schema "youtiao-perf-4", see
- * docs/FILE_FORMATS.md) in the current directory, or under
- * `$YOUTIAO_PERF_DIR` when set. When `$YOUTIAO_TRACE_DIR` is set the
- * run is also traced and the span timeline lands in
+ * histograms, and resource samples to `BENCH_<name>.json` (schema
+ * "youtiao-perf-5", see docs/FILE_FORMATS.md) in the current directory,
+ * or under `$YOUTIAO_PERF_DIR` when set. When `$YOUTIAO_TRACE_DIR` is
+ * set the run is also traced and the span timeline lands in
  * `TRACE_<name>.json` there. Every subsequent optimization PR is
  * judged against these records.
+ *
+ * The (name, argc, argv) constructor additionally arms the full
+ * observability stack: the crash flight recorder
+ * (`FLIGHT_bench_<name>.json` on a fatal signal), the YOUTIAO_WATCHDOG
+ * resource sampler, and -- when `$YOUTIAO_RUN_LEDGER` is set -- a
+ * run-ledger manifest ("youtiao-run-1") appended when the report is
+ * destroyed, so bench history is trend-analyzable with
+ * tools/perf_trend.
  */
 class PerfReport
 {
@@ -51,8 +63,20 @@ class PerfReport
         }
     }
 
+    PerfReport(std::string name, int argc, char **argv)
+        : PerfReport(std::move(name))
+    {
+        flight::install(("bench_" + name_).c_str());
+        watchdog::startFromEnv();
+        recorder_.emplace("bench_" + name_, argc, argv);
+    }
+
     ~PerfReport()
     {
+        // Final resource samples must land before the record is
+        // serialized; stop() keeps the collected series readable.
+        if (watchdog::running())
+            watchdog::stop();
         if (!tracePath_.empty()) {
             trace::Tracer::global().disable();
             if (trace::Tracer::global().writeJson(tracePath_))
@@ -81,6 +105,9 @@ class PerfReport
   private:
     std::string name_;
     std::string tracePath_;
+    // Destroyed after the dtor body ran, so the manifest (written by
+    // Recorder::finish) sees the final phase timings and peak RSS.
+    std::optional<runledger::Recorder> recorder_;
 };
 
 /**

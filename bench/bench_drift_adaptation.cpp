@@ -133,7 +133,7 @@ BENCHMARK(BM_ReallocateReplay)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    youtiao::bench::PerfReport perf("drift_adaptation");
+    youtiao::bench::PerfReport perf("drift_adaptation", argc, argv);
     const bool ok = printFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -182,7 +182,7 @@ BENCHMARK(BM_PredictQubitMatrix)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    youtiao::bench::PerfReport perf("fig12_crosstalk_generality");
+    youtiao::bench::PerfReport perf("fig12_crosstalk_generality", argc, argv);
     printFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -216,7 +216,7 @@ BENCHMARK(BM_WholeChipFidelityEstimate)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    youtiao::bench::PerfReport perf("fig13_fdm_fidelity");
+    youtiao::bench::PerfReport perf("fig13_fdm_fidelity", argc, argv);
     printFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

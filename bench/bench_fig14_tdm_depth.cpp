@@ -135,7 +135,7 @@ BENCHMARK(BM_TdmConstrainedSchedule)->DenseRange(0, 4)
 int
 main(int argc, char **argv)
 {
-    youtiao::bench::PerfReport perf("fig14_tdm_depth");
+    youtiao::bench::PerfReport perf("fig14_tdm_depth", argc, argv);
     printFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

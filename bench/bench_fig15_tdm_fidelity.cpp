@@ -155,7 +155,7 @@ BENCHMARK(BM_FidelityEstimate)->DenseRange(0, 4)
 int
 main(int argc, char **argv)
 {
-    youtiao::bench::PerfReport perf("fig15_tdm_fidelity");
+    youtiao::bench::PerfReport perf("fig15_tdm_fidelity", argc, argv);
     printFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

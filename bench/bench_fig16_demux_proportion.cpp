@@ -98,7 +98,7 @@ BENCHMARK(BM_TdmGrouping)->Arg(4)->Arg(6)->Arg(8)
 int
 main(int argc, char **argv)
 {
-    youtiao::bench::PerfReport perf("fig16_demux_proportion");
+    youtiao::bench::PerfReport perf("fig16_demux_proportion", argc, argv);
     printFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -238,7 +238,7 @@ BENCHMARK(BM_GridConstruction)->Arg(1000)->Arg(100000)
 int
 main(int argc, char **argv)
 {
-    youtiao::bench::PerfReport perf("fig17_scalability");
+    youtiao::bench::PerfReport perf("fig17_scalability", argc, argv);
     printPartA();
     printPartB();
     printPartC();

@@ -97,7 +97,7 @@ measureSize(std::size_t qubits, std::size_t repeats,
 int
 main(int argc, char **argv)
 {
-    bench::PerfReport perf("io");
+    bench::PerfReport perf("io", argc, argv);
 
     std::printf("Chip I/O: text vs binary load\n");
     bench::rule();

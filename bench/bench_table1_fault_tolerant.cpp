@@ -144,7 +144,7 @@ BENCHMARK(BM_TdmScheduleEcCycles)->Arg(3)->Arg(5)
 int
 main(int argc, char **argv)
 {
-    youtiao::bench::PerfReport perf("table1_fault_tolerant");
+    youtiao::bench::PerfReport perf("table1_fault_tolerant", argc, argv);
     printTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -152,7 +152,7 @@ BENCHMARK(BM_RouteChip)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    youtiao::bench::PerfReport perf("table2_wiring");
+    youtiao::bench::PerfReport perf("table2_wiring", argc, argv);
     printTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/flight.hpp"
 
 namespace youtiao {
 
@@ -57,7 +58,15 @@ struct DesignError
     DesignError() = default;
     DesignError(DesignStage error_stage, std::string msg)
         : stage(error_stage), message(std::move(msg))
-    {}
+    {
+        // Post-mortem breadcrumb: when a tool armed the flight recorder
+        // (flight::install), every recoverable failure snapshots the
+        // rings so even a run the degradation ladder rescues leaves its
+        // failure trail on disk. No-op (one relaxed load) otherwise.
+        if (flight::enabled())
+            flight::noteDesignError(designStageName(stage),
+                                    message.c_str());
+    }
 
     DesignError &
     with(const std::string &key, const std::string &value)

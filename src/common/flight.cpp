@@ -1,0 +1,418 @@
+#include "common/flight.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/trace.hpp"
+
+namespace youtiao::flight {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+constexpr std::size_t kRingEntries = 256; ///< retained events per thread
+constexpr std::size_t kMaxRings = 256;    ///< threads tracked per process
+constexpr std::size_t kTextCap = 120;     ///< bytes of text per entry
+
+/** Self-contained ring entry: a byte copy, no pointers, so the dumper
+ *  never chases memory another thread may have freed. */
+struct Entry
+{
+    std::uint64_t seq = 0;   ///< global order across threads
+    std::uint64_t tsNs = 0;  ///< nanoseconds since install()
+    std::uint64_t durNs = 0; ///< span duration (Span entries only)
+    std::uint8_t kind = 0;
+    std::uint8_t textLen = 0;
+    char text[kTextCap];
+};
+
+/** Single-writer ring: only the owning thread appends; head is published
+ *  with a release store so the dumper reads whole entries (modulo the
+ *  wraparound entry, which the dumper sanitizes). */
+struct Ring
+{
+    std::atomic<std::uint64_t> head{0};
+    std::uint32_t tid = 0;
+    Entry entries[kRingEntries];
+};
+
+// Registration table: fixed slots so the signal handler can walk it
+// without locks. Rings are leaked -- a dump during static teardown must
+// still be able to read them.
+std::atomic<Ring *> g_rings[kMaxRings];
+std::atomic<std::size_t> g_ringCount{0};
+std::atomic<std::uint64_t> g_seq{0};
+std::atomic<std::uint64_t> g_dumpCount{0};
+std::atomic<bool> g_installed{false};
+
+char g_path[1024] = "";
+char g_tool[64] = "";
+std::chrono::steady_clock::time_point g_t0;
+std::terminate_handler g_prevTerminate = nullptr;
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - g_t0)
+            .count());
+}
+
+Ring *
+threadRing()
+{
+    thread_local Ring *ring = []() -> Ring * {
+        const std::size_t idx =
+            g_ringCount.fetch_add(1, std::memory_order_relaxed);
+        if (idx >= kMaxRings)
+            return nullptr; // beyond-capacity threads go unrecorded
+        Ring *r = new Ring; // leaked: see registration comment
+        r->tid = trace::currentThreadTag();
+        g_rings[idx].store(r, std::memory_order_release);
+        return r;
+    }();
+    return ring;
+}
+
+void
+append(EntryKind kind, std::string_view text, std::uint64_t dur_ns)
+{
+    Ring *ring = threadRing();
+    if (ring == nullptr)
+        return;
+    const std::uint64_t head =
+        ring->head.load(std::memory_order_relaxed);
+    Entry &e = ring->entries[head % kRingEntries];
+    e.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+    e.tsNs = nowNs();
+    e.durNs = dur_ns;
+    e.kind = static_cast<std::uint8_t>(kind);
+    const std::size_t n = text.size() < kTextCap ? text.size() : kTextCap;
+    std::memcpy(e.text, text.data(), n);
+    e.textLen = static_cast<std::uint8_t>(n);
+    ring->head.store(head + 1, std::memory_order_release);
+}
+
+// ---- async-signal-safe dump writer --------------------------------------
+
+/** Buffered fd writer using only ::write (EINTR-safe). */
+struct SafeWriter
+{
+    int fd;
+    std::size_t n = 0;
+    char buf[4096];
+
+    explicit SafeWriter(int f) : fd(f) {}
+
+    void
+    flush()
+    {
+        std::size_t off = 0;
+        while (off < n) {
+            const ssize_t w = ::write(fd, buf + off, n - off);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                break; // best effort: nothing safe left to do
+            }
+            off += static_cast<std::size_t>(w);
+        }
+        n = 0;
+    }
+
+    void
+    put(char c)
+    {
+        if (n == sizeof buf)
+            flush();
+        buf[n++] = c;
+    }
+
+    void
+    str(const char *s)
+    {
+        for (; *s != '\0'; ++s)
+            put(*s);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        char tmp[24];
+        std::size_t i = 0;
+        do {
+            tmp[i++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v != 0);
+        while (i > 0)
+            put(tmp[--i]);
+    }
+
+    /** JSON-escape @p len bytes: printable ASCII passes, quotes and
+     *  backslashes are escaped, everything else (including bytes torn by
+     *  a concurrent writer) becomes '?', keeping the dump parseable. */
+    void
+    text(const char *s, std::size_t len)
+    {
+        for (std::size_t i = 0; i < len; ++i) {
+            const unsigned char c = static_cast<unsigned char>(s[i]);
+            if (c == '"' || c == '\\') {
+                put('\\');
+                put(static_cast<char>(c));
+            } else if (c >= 0x20 && c < 0x7f) {
+                put(static_cast<char>(c));
+            } else {
+                put('?');
+            }
+        }
+    }
+};
+
+const char *
+kindName(std::uint8_t kind)
+{
+    switch (static_cast<EntryKind>(kind)) {
+      case EntryKind::Span:
+        return "span";
+      case EntryKind::Log:
+        return "log";
+      case EntryKind::Note:
+        return "note";
+      case EntryKind::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+void
+fatalSignalHandler(int sig)
+{
+    switch (sig) {
+      case SIGSEGV:
+        dump("signal:SIGSEGV");
+        break;
+      case SIGBUS:
+        dump("signal:SIGBUS");
+        break;
+      case SIGILL:
+        dump("signal:SIGILL");
+        break;
+      case SIGFPE:
+        dump("signal:SIGFPE");
+        break;
+      case SIGABRT:
+        dump("signal:SIGABRT");
+        break;
+      default:
+        dump("signal:unknown");
+        break;
+    }
+    // Restore the default disposition and re-raise so the process still
+    // dies with the original signal (core dumps, CI exit codes, and
+    // sanitizer reports behave as without the recorder).
+    struct sigaction dfl;
+    std::memset(&dfl, 0, sizeof dfl);
+    dfl.sa_handler = SIG_DFL;
+    ::sigaction(sig, &dfl, nullptr);
+    ::raise(sig);
+}
+
+[[noreturn]] void
+terminateHandler()
+{
+    dump("terminate");
+    if (g_prevTerminate != nullptr)
+        g_prevTerminate();
+    std::abort();
+}
+
+void
+copyBounded(char *dst, std::size_t cap, const char *src)
+{
+    std::size_t i = 0;
+    for (; src[i] != '\0' && i + 1 < cap; ++i)
+        dst[i] = src[i];
+    dst[i] = '\0';
+}
+
+} // namespace
+
+bool
+install(const char *tool, const char *dir)
+{
+    const char *opt_out = std::getenv("YOUTIAO_FLIGHT");
+    if (opt_out != nullptr && std::strcmp(opt_out, "0") == 0)
+        return false;
+    bool expected = false;
+    if (!g_installed.compare_exchange_strong(expected, true))
+        return false; // first install wins
+    g_t0 = std::chrono::steady_clock::now();
+    copyBounded(g_tool, sizeof g_tool, tool);
+    if (dir == nullptr)
+        dir = std::getenv("YOUTIAO_FLIGHT_DIR");
+    if (dir == nullptr || *dir == '\0')
+        dir = ".";
+    std::size_t n = 0;
+    copyBounded(g_path, sizeof g_path, dir);
+    n = std::strlen(g_path);
+    copyBounded(g_path + n, sizeof g_path - n, "/FLIGHT_");
+    n = std::strlen(g_path);
+    copyBounded(g_path + n, sizeof g_path - n, g_tool);
+    n = std::strlen(g_path);
+    copyBounded(g_path + n, sizeof g_path - n, ".json");
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = fatalSignalHandler;
+    ::sigemptyset(&sa.sa_mask);
+    for (int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT})
+        ::sigaction(sig, &sa, nullptr);
+    g_prevTerminate = std::set_terminate(terminateHandler);
+
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+    return true;
+}
+
+void
+recordSpan(const char *name, std::uint64_t dur_ns)
+{
+    if (!enabled())
+        return;
+    append(EntryKind::Span, name, dur_ns);
+}
+
+void
+recordText(EntryKind kind, std::string_view text)
+{
+    if (!enabled())
+        return;
+    append(kind, text, 0);
+}
+
+void
+noteDesignError(const char *stage, const char *message)
+{
+    if (!enabled())
+        return;
+    char line[kTextCap];
+    std::size_t n = 0;
+    for (; stage[n] != '\0' && n + 1 < sizeof line; ++n)
+        line[n] = stage[n];
+    if (n + 2 < sizeof line) {
+        line[n++] = ':';
+        line[n++] = ' ';
+    }
+    for (std::size_t i = 0; message[i] != '\0' && n + 1 < sizeof line;
+         ++i)
+        line[n++] = message[i];
+    append(EntryKind::Error, std::string_view(line, n), 0);
+    dump("design_error");
+}
+
+bool
+dump(const char *reason)
+{
+    if (!g_installed.load(std::memory_order_relaxed) ||
+        g_path[0] == '\0')
+        return false;
+    const int fd =
+        ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return false;
+    SafeWriter w(fd);
+    w.str("{\"schema\":\"youtiao-flight-1\",\"tool\":\"");
+    w.text(g_tool, std::strlen(g_tool));
+    w.str("\",\"reason\":\"");
+    w.text(reason, std::strlen(reason));
+    w.str("\",\"entries\":[");
+    bool first = true;
+    std::size_t count = g_ringCount.load(std::memory_order_acquire);
+    if (count > kMaxRings)
+        count = kMaxRings;
+    for (std::size_t i = 0; i < count; ++i) {
+        const Ring *ring = g_rings[i].load(std::memory_order_acquire);
+        if (ring == nullptr)
+            continue;
+        const std::uint64_t head =
+            ring->head.load(std::memory_order_acquire);
+        const std::uint64_t n =
+            head < kRingEntries ? head : kRingEntries;
+        for (std::uint64_t j = head - n; j < head; ++j) {
+            const Entry &e = ring->entries[j % kRingEntries];
+            if (!first)
+                w.put(',');
+            first = false;
+            w.str("{\"seq\":");
+            w.u64(e.seq);
+            w.str(",\"ts_ns\":");
+            w.u64(e.tsNs);
+            w.str(",\"tid\":");
+            w.u64(ring->tid);
+            w.str(",\"kind\":\"");
+            w.str(kindName(e.kind));
+            w.str("\"");
+            if (static_cast<EntryKind>(e.kind) == EntryKind::Span) {
+                w.str(",\"dur_ns\":");
+                w.u64(e.durNs);
+            }
+            w.str(",\"text\":\"");
+            const std::size_t len =
+                e.textLen <= kTextCap ? e.textLen : kTextCap;
+            w.text(e.text, len);
+            w.str("\"}");
+        }
+    }
+    w.str("]}\n");
+    w.flush();
+    ::close(fd);
+    g_dumpCount.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+const char *
+dumpPath()
+{
+    return g_path;
+}
+
+std::uint64_t
+dumpCount()
+{
+    return g_dumpCount.load(std::memory_order_relaxed);
+}
+
+void
+resetForTest()
+{
+    std::size_t count = g_ringCount.load(std::memory_order_acquire);
+    if (count > kMaxRings)
+        count = kMaxRings;
+    for (std::size_t i = 0; i < count; ++i) {
+        Ring *ring = g_rings[i].load(std::memory_order_acquire);
+        if (ring != nullptr)
+            ring->head.store(0, std::memory_order_release);
+    }
+    g_seq.store(0, std::memory_order_relaxed);
+    g_dumpCount.store(0, std::memory_order_relaxed);
+}
+
+void
+setEnabledForTest(bool on)
+{
+    if (on && !g_installed.load(std::memory_order_relaxed))
+        return; // cannot enable what was never installed
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+} // namespace youtiao::flight

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Crash flight recorder: a fixed-size, lock-free ring buffer per thread
+ * retaining the most recent trace spans, log lines, and notes, dumped by
+ * an async-signal-safe writer when the process dies unexpectedly.
+ *
+ * The metrics registry and tracer (common/metrics.hpp, common/trace.hpp)
+ * only report on runs that finish cleanly; the flight recorder covers the
+ * runs that do not. When a tool installs it (flight::install), every
+ * TraceSpan destructor and emitted log line also lands in the calling
+ * thread's ring, and a fatal signal (SIGSEGV/SIGBUS/SIGILL/SIGFPE/
+ * SIGABRT), an uncaught exception (std::terminate), or a DesignError
+ * construction triggers a dump of all rings to
+ * `$YOUTIAO_FLIGHT_DIR/FLIGHT_<tool>.json` (schema "youtiao-flight-1",
+ * see docs/FILE_FORMATS.md). A failed 10k-qubit run or fault-campaign
+ * hit then leaves the last few hundred events per thread on disk instead
+ * of silence.
+ *
+ * Design constraints:
+ *  - Recording is wait-free for the owning thread: entries are
+ *    self-contained byte copies (no heap, no pointers into freed
+ *    memory), published with a release store of the ring head.
+ *  - The dump path uses only async-signal-safe primitives: open/write,
+ *    hand-rolled integer formatting, no malloc, no stdio. Entries being
+ *    overwritten concurrently can be torn; the dumper sanitizes text
+ *    bytes so the output is valid JSON regardless.
+ *  - Disabled (the default, and always in unit tests unless a test
+ *    installs it) every hook costs one relaxed atomic load and branch,
+ *    the same contract as trace::enabled() -- recording observes the
+ *    computation and never feeds back into it.
+ *
+ * Opt-out: setting YOUTIAO_FLIGHT=0 makes install() a no-op.
+ */
+
+#ifndef YOUTIAO_COMMON_FLIGHT_HPP
+#define YOUTIAO_COMMON_FLIGHT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace youtiao::flight {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/** True once install() succeeded; the single relaxed load every hook
+ *  pays when the recorder is off. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** What a ring entry records. */
+enum class EntryKind : std::uint8_t
+{
+    Span = 0,  ///< completed TraceSpan (text = span name, durNs set)
+    Log = 1,   ///< rendered logfmt line
+    Note = 2,  ///< free-form breadcrumb from note()
+    Error = 3, ///< DesignError construction ("stage: message")
+};
+
+/**
+ * Arm the recorder for this process: start the clock, register the
+ * fatal-signal handlers and the std::terminate hook, and precompute the
+ * dump path `<dir>/FLIGHT_<tool>.json` where @p dir is the explicit
+ * argument, else $YOUTIAO_FLIGHT_DIR, else the current directory.
+ * Idempotent (the first call wins); returns false when YOUTIAO_FLIGHT=0
+ * disabled it or a previous install already armed it.
+ */
+bool install(const char *tool, const char *dir = nullptr);
+
+/** Append a completed span to the calling thread's ring. */
+void recordSpan(const char *name, std::uint64_t dur_ns);
+
+/** Append a text entry (log line, note) to the calling thread's ring.
+ *  Text beyond the per-entry capacity is truncated. */
+void recordText(EntryKind kind, std::string_view text);
+
+/** Breadcrumb helper: recordText(EntryKind::Note, text) when enabled. */
+inline void
+note(std::string_view text)
+{
+    if (enabled())
+        recordText(EntryKind::Note, text);
+}
+
+/**
+ * Record a DesignError construction and dump the rings with reason
+ * "design_error". Called from the DesignError constructor; a no-op when
+ * the recorder is not installed, so library code and tests never pay for
+ * it. Repeated errors overwrite the same dump file -- the last error
+ * before exit is the one a post-mortem reads.
+ */
+void noteDesignError(const char *stage, const char *message);
+
+/**
+ * Write every thread's ring to the dump file (async-signal-safe; callable
+ * from signal handlers). Returns false when the recorder is not installed
+ * or the file cannot be opened.
+ */
+bool dump(const char *reason);
+
+/** Dump file path decided at install(), or "" before install. */
+const char *dumpPath();
+
+/** Number of successful dump() calls since install (or reset). */
+std::uint64_t dumpCount();
+
+/** Test hook: clear all rings and the dump counter. Call only from
+ *  quiescent points (no instrumented work in flight). */
+void resetForTest();
+
+/** Test hook: pause/resume recording without reinstalling handlers. */
+void setEnabledForTest(bool on);
+
+} // namespace youtiao::flight
+
+#endif // YOUTIAO_COMMON_FLIGHT_HPP

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/flight.hpp"
 #include "common/trace.hpp"
 
 namespace youtiao::log {
@@ -88,11 +89,39 @@ appendQuoted(std::string &out, std::string_view value)
           case '\t':
             out += "\\t";
             break;
+          case '\r':
+            out += "\\r";
+            break;
           default:
-            out += c;
+            // Remaining control bytes would break the one-record-per-
+            // line property if emitted raw; render them as \xHH.
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                const unsigned char u = static_cast<unsigned char>(c);
+                out += "\\x";
+                out += hex[u >> 4];
+                out += hex[u & 0x0f];
+            } else {
+                out += c;
+            }
         }
     }
     out += '"';
+}
+
+/** Keys are caller-controlled literals, but a stray space or '=' in one
+ *  would corrupt every downstream logfmt parser; replace offending
+ *  bytes with '_' rather than trusting call sites. */
+void
+appendKey(std::string &out, std::string_view key)
+{
+    for (char c : key) {
+        if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+            static_cast<unsigned char>(c) < 0x20)
+            out += '_';
+        else
+            out += c;
+    }
 }
 
 } // namespace
@@ -171,7 +200,7 @@ formatLine(Level l, std::string_view msg,
     appendQuoted(out, msg);
     for (const Field &field : fields) {
         out += ' ';
-        out += field.key;
+        appendKey(out, field.key);
         out += '=';
         if (field.numeric || bareSafe(field.value))
             out += field.value;
@@ -193,6 +222,8 @@ write(Level l, std::string_view msg,
             .count();
     std::string line =
         formatLine(l, msg, fields, ts, trace::currentThreadTag());
+    if (flight::enabled())
+        flight::recordText(flight::EntryKind::Log, line);
     line += '\n';
     Sink &s = sink();
     const std::lock_guard<std::mutex> lock(s.mutex);

@@ -17,6 +17,7 @@
 #include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "common/simd.hpp"
+#include "common/watchdog.hpp"
 
 namespace youtiao::metrics {
 
@@ -250,11 +251,20 @@ ScopedTimer::ScopedTimer(std::string name, Registry *registry)
     : name_(std::move(name)),
       registry_(registry != nullptr ? registry : &Registry::global()),
       start_(std::chrono::steady_clock::now())
-{}
+{
+    // Stall detection rides on the existing phase timers: when the
+    // watchdog runs, budgeted phases are tracked from begin to end.
+    if (watchdog::enabled()) {
+        watchdog::phaseBegin(name_);
+        watchdogTracked_ = true;
+    }
+}
 
 ScopedTimer::~ScopedTimer()
 {
     const auto elapsed = std::chrono::steady_clock::now() - start_;
+    if (watchdogTracked_)
+        watchdog::phaseEnd(name_);
     registry_->addPhase(
         name_, std::chrono::duration<double>(elapsed).count());
 }
@@ -374,7 +384,7 @@ jsonReport(const std::string &benchmark)
     const char *threads_env = std::getenv("YOUTIAO_THREADS");
     const std::optional<std::uint64_t> rss = peakRssBytes();
     out << "{\n";
-    out << "  \"schema\": \"youtiao-perf-4\",\n";
+    out << "  \"schema\": \"youtiao-perf-5\",\n";
     out << "  \"benchmark\": \"" << jsonEscape(benchmark) << "\",\n";
     out << "  \"config\": {\n";
     out << "    \"threads\": " << configuredThreadCount() << ",\n";
@@ -439,7 +449,22 @@ jsonReport(const std::string &benchmark)
         }
         out << "}}";
     }
-    out << (first ? "}\n" : "\n  }\n");
+    out << (first ? "},\n" : "\n  },\n");
+    // Watchdog time series (empty when the watchdog never ran). The
+    // sampler should be stopped before reporting so the series is final.
+    out << "  \"resource_samples\": [";
+    first = true;
+    for (const watchdog::Sample &s : watchdog::samples()) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\"ts_s\": " << json::formatDouble(s.tsSeconds)
+            << ", \"rss_bytes\": " << s.rssBytes
+            << ", \"cpu_seconds\": " << json::formatDouble(s.cpuSeconds)
+            << ", \"astar_arena_bytes\": " << s.astarArenaBytes
+            << ", \"pool_queue_depth\": " << s.poolQueueDepth << "}";
+    }
+    out << (first ? "],\n" : "\n  ],\n");
+    out << "  \"watchdog_stalls\": " << watchdog::stallCount() << "\n";
     out << "}\n";
     return out.str();
 }

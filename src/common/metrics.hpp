@@ -145,6 +145,9 @@ class ScopedTimer
     std::string name_;
     Registry *registry_;
     std::chrono::steady_clock::time_point start_;
+    /** True when the watchdog was told about this phase, so the end
+     *  hook fires even if the watchdog stops mid-phase. */
+    bool watchdogTracked_ = false;
 };
 
 /** Add @p delta to the global registry's counter @p name. */
@@ -179,11 +182,13 @@ std::string phaseTable(
 
 /**
  * Machine-readable perf record of the global registry (schema
- * "youtiao-perf-4", see docs/FILE_FORMATS.md): benchmark name, config
+ * "youtiao-perf-5", see docs/FILE_FORMATS.md): benchmark name, config
  * (resolved thread count, raw YOUTIAO_THREADS, build type, peak RSS or
  * null where the platform cannot report it, active SIMD level, CPU
- * SIMD features), per-phase wall times and call counts, counters, and
- * per-histogram bucket counts with derived p50/p90/p99.
+ * SIMD features), per-phase wall times and call counts, counters,
+ * per-histogram bucket counts with derived p50/p90/p99, and the
+ * resource watchdog's time series (common/watchdog.hpp) with its stall
+ * count -- an empty series when the watchdog never ran.
  */
 std::string jsonReport(const std::string &benchmark);
 

@@ -258,6 +258,14 @@ globalPoolSlot()
 
 } // namespace
 
+std::size_t
+ThreadPool::pendingTaskCount() const
+{
+    return impl_ == nullptr
+               ? 0
+               : impl_->pending.load(std::memory_order_relaxed);
+}
+
 ThreadPool &
 ThreadPool::global()
 {
@@ -266,6 +274,13 @@ ThreadPool::global()
     if (!slot)
         slot = std::make_unique<ThreadPool>();
     return *slot;
+}
+
+const ThreadPool *
+ThreadPool::globalIfStarted()
+{
+    std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+    return globalPoolSlot().get();
 }
 
 void

@@ -57,7 +57,8 @@ parsePerfRecord(const std::string &text)
     requireConfig(record.schema == "youtiao-perf-1" ||
                       record.schema == "youtiao-perf-2" ||
                       record.schema == "youtiao-perf-3" ||
-                      record.schema == "youtiao-perf-4",
+                      record.schema == "youtiao-perf-4" ||
+                      record.schema == "youtiao-perf-5",
                   "perf record: unknown schema '" + record.schema + "'");
     record.benchmark =
         root.field("benchmark").asString("perf record: benchmark");
@@ -94,6 +95,28 @@ parsePerfRecord(const std::string &text)
             record.cpuFeatures =
                 cpu->asString("perf record: config cpu_features");
     }
+    if (const json::Value *series = root.fieldIf("resource_samples")) {
+        for (const json::Value &entry :
+             series->asArray("perf record: resource_samples")) {
+            ResourceSample sample;
+            sample.tsSeconds = entry.field("ts_s").asNumber(
+                "perf record: resource sample ts_s");
+            sample.rssBytes =
+                asCount(entry.field("rss_bytes"), "resource rss_bytes");
+            sample.cpuSeconds = entry.field("cpu_seconds")
+                                    .asNumber("perf record: resource "
+                                              "sample cpu_seconds");
+            sample.astarArenaBytes =
+                asCount(entry.field("astar_arena_bytes"),
+                        "resource astar_arena_bytes");
+            sample.poolQueueDepth =
+                asCount(entry.field("pool_queue_depth"),
+                        "resource pool_queue_depth");
+            record.resourceSamples.push_back(sample);
+        }
+    }
+    if (const json::Value *stalls = root.fieldIf("watchdog_stalls"))
+        record.watchdogStalls = asCount(*stalls, "watchdog_stalls");
     return record;
 }
 

@@ -38,7 +38,17 @@ struct HistogramRecord
     std::map<int, std::uint64_t> buckets;
 };
 
-/** One parsed `BENCH_<name>.json` record (schema youtiao-perf-1..4). */
+/** One watchdog snapshot of a perf-5 record (common/watchdog.hpp). */
+struct ResourceSample
+{
+    double tsSeconds = 0.0;
+    std::uint64_t rssBytes = 0;
+    double cpuSeconds = 0.0;
+    std::uint64_t astarArenaBytes = 0;
+    std::uint64_t poolQueueDepth = 0;
+};
+
+/** One parsed `BENCH_<name>.json` record (schema youtiao-perf-1..5). */
 struct PerfRecord
 {
     std::string schema;
@@ -58,6 +68,11 @@ struct PerfRecord
     std::optional<std::string> simdLevel;
     /** CPU feature summary from the perf-4 config block (diagnostic). */
     std::optional<std::string> cpuFeatures;
+    /** Watchdog time series of a perf-5 record; empty when the record
+     *  predates perf-5 or the watchdog never ran. */
+    std::vector<ResourceSample> resourceSamples;
+    /** Phase-budget violations the watchdog observed (perf-5). */
+    std::uint64_t watchdogStalls = 0;
 };
 
 /**

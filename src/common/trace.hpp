@@ -37,6 +37,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/flight.hpp"
+
 namespace youtiao::trace {
 
 namespace detail {
@@ -113,13 +115,16 @@ class Tracer
  * RAII span: marks a named region of the calling thread's timeline.
  * Costs one relaxed load when tracing is disabled. Spans on one thread
  * nest like scopes do, so per-thread tracks are always well-nested.
+ * When the flight recorder is armed (flight::install) each completed
+ * span also lands in the calling thread's crash ring, so every traced
+ * site doubles as post-mortem breadcrumbs for free.
  */
 class TraceSpan
 {
   public:
     explicit TraceSpan(const char *name, const char *category = "youtiao")
     {
-        if (enabled()) {
+        if (enabled() || flight::enabled()) {
             name_ = name;
             category_ = category;
             startNs_ = Tracer::global().nowNs();
@@ -128,11 +133,14 @@ class TraceSpan
 
     ~TraceSpan()
     {
-        if (name_ != nullptr && enabled()) {
+        if (name_ != nullptr) {
             Tracer &t = Tracer::global();
             const std::uint64_t end = t.nowNs();
-            t.recordComplete(name_, category_, startNs_,
-                             end - startNs_);
+            if (enabled())
+                t.recordComplete(name_, category_, startNs_,
+                                 end - startNs_);
+            if (flight::enabled())
+                flight::recordSpan(name_, end - startNs_);
         }
     }
 

@@ -9,7 +9,9 @@
 #include "common/fault.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/prng.hpp"
+#include "common/trace.hpp"
 #include "noise/crosstalk_data.hpp"
 #include "routing/chip_router.hpp"
 #include "routing/drc.hpp"
@@ -25,9 +27,17 @@ runOne(const ChipTopology &chip, const FaultCampaignConfig &config,
     FaultCampaignRun run;
     run.defectRate = rate;
     run.seed = run_seed;
+    const trace::TraceSpan span("campaign.run", "campaign");
+    const metrics::ScopedTimer timer("campaign.run");
+    metrics::count("campaign.runs");
     try {
-        const ChipDefects defects =
-            randomDefects(chip, uniformDefectRates(rate), run_seed);
+        const ChipDefects defects = [&] {
+            const trace::TraceSpan defects_span("campaign.defects",
+                                                "campaign");
+            const metrics::ScopedTimer defects_timer("campaign.defects");
+            return randomDefects(chip, uniformDefectRates(rate),
+                                 run_seed);
+        }();
         run.deadQubits = defects.deadQubits.size();
         run.brokenCouplers = defects.brokenCouplers.size();
         run.maskedBands = defects.maskedBandsGHz.size();
@@ -42,9 +52,15 @@ runOne(const ChipTopology &chip, const FaultCampaignConfig &config,
         const ChipCharacterization data =
             characterizeChip(degraded.chip, prng);
 
-        Expected<YoutiaoDesign, DesignError> result =
-            designer.designFromMeasurementsRobust(degraded.chip, data);
+        Expected<YoutiaoDesign, DesignError> result = [&] {
+            const trace::TraceSpan design_span("campaign.design",
+                                               "campaign");
+            const metrics::ScopedTimer design_timer("campaign.design");
+            return designer.designFromMeasurementsRobust(degraded.chip,
+                                                         data);
+        }();
         if (!result.hasValue()) {
+            metrics::count("campaign.design_failures");
             run.error = result.error().toString();
             return run;
         }
@@ -53,6 +69,9 @@ runOne(const ChipTopology &chip, const FaultCampaignConfig &config,
         design.degradation.excludedCouplers = degraded.removedCouplers;
 
         if (config.route) {
+            const trace::TraceSpan route_span("campaign.route",
+                                              "campaign");
+            const metrics::ScopedTimer route_timer("campaign.route");
             ChipRoutingConfig routing_cfg;
             routing_cfg.blockedCells = defects.blockedRoutingCells;
             routing_cfg.blockedHalfWidthMm = defects.blockedHalfWidthMm;
@@ -247,6 +266,10 @@ runFaultCampaign(const ChipTopology &chip,
             ++summary.degradedCount;
         summary.drcViolationCount += run.drcViolations;
     }
+    if (summary.failedCount > 0)
+        metrics::count("campaign.failed_runs", summary.failedCount);
+    if (summary.degradedCount > 0)
+        metrics::count("campaign.degraded_runs", summary.degradedCount);
     log::info("fault campaign done",
               {{"runs", summary.runs.size()},
                {"ok", summary.okCount},

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "common/watchdog.hpp"
 
 namespace youtiao {
 
@@ -84,6 +85,8 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
     // previous search in O(1) instead of refilling O(states) memory.
     const std::size_t state_count = w * h * kDirCount;
     arena.begin(state_count);
+    watchdog::gaugeMax(watchdog::Gauge::AstarArenaBytes,
+                       arena.memoryBytes());
     constexpr std::uint32_t no_parent = SearchArena::kNoParent;
 
     using Entry = std::pair<double, std::uint32_t>;

@@ -76,6 +76,60 @@ TEST(Log, FormatLineQuotesAndEscapesStringValues)
     EXPECT_NE(line.find("quoted=\"say \\\"hi\\\"\""), std::string::npos);
 }
 
+TEST(Log, FormatLineQuotesValuesWithEqualsAndBackslash)
+{
+    // '=' or '\' in a bare value would desynchronize every downstream
+    // logfmt parser; both force quoting.
+    const std::string line = log::formatLine(
+        log::Level::Warn, "msg",
+        {{"eq", "a=b"}, {"bs", "a\\b"}, {"empty", ""}}, 0.0, 0);
+    EXPECT_NE(line.find("eq=\"a=b\""), std::string::npos);
+    EXPECT_NE(line.find("bs=\"a\\\\b\""), std::string::npos);
+    EXPECT_NE(line.find("empty=\"\""), std::string::npos);
+}
+
+TEST(Log, FormatLineEscapesControlBytes)
+{
+    // Raw control bytes would break the one-record-per-line property;
+    // \n, \t, \r get mnemonic escapes, everything else renders \xHH.
+    const std::string line = log::formatLine(
+        log::Level::Warn, "msg",
+        {{"nl", "a\nb"},
+         {"tab", "a\tb"},
+         {"cr", "a\rb"},
+         {"esc", std::string("a\x1b") + "b"},
+         {"nul", std::string("a\0b", 3)}},
+        0.0, 0);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_EQ(line.find('\r'), std::string::npos);
+    EXPECT_NE(line.find("nl=\"a\\nb\""), std::string::npos);
+    EXPECT_NE(line.find("tab=\"a\\tb\""), std::string::npos);
+    EXPECT_NE(line.find("cr=\"a\\rb\""), std::string::npos);
+    EXPECT_NE(line.find("esc=\"a\\x1bb\""), std::string::npos);
+    EXPECT_NE(line.find("nul=\"a\\x00b\""), std::string::npos);
+}
+
+TEST(Log, FormatLineSanitizesKeys)
+{
+    // A space, quote, or '=' in a key would corrupt the whole record;
+    // offending bytes become '_' instead of trusting the call site.
+    const std::string line = log::formatLine(
+        log::Level::Warn, "msg", {{"bad key=1", "v"}, {"a\"b", "w"}},
+        0.0, 0);
+    EXPECT_NE(line.find(" bad_key_1=v"), std::string::npos);
+    EXPECT_NE(line.find(" a_b=w"), std::string::npos);
+}
+
+TEST(Log, MessageWithNewlineStaysOneLine)
+{
+    const std::string line = log::formatLine(
+        log::Level::Error, "multi\nline\rmessage", {}, 0.0, 0);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_EQ(line.find('\r'), std::string::npos);
+    EXPECT_NE(line.find("msg=\"multi\\nline\\rmessage\""),
+              std::string::npos);
+}
+
 TEST(Log, LevelNamesRoundTrip)
 {
     for (log::Level l : {log::Level::Error, log::Level::Warn,

@@ -101,7 +101,7 @@ TEST(Metrics, JsonReportHasSchemaConfigPhasesCounters)
     }
     metrics::count("json.counter", 42);
     const std::string json = metrics::jsonReport("unit_test");
-    EXPECT_NE(json.find("\"schema\": \"youtiao-perf-4\""),
+    EXPECT_NE(json.find("\"schema\": \"youtiao-perf-5\""),
               std::string::npos);
     EXPECT_NE(json.find("\"simd_level\":"), std::string::npos);
     EXPECT_NE(json.find("\"cpu_features\":"), std::string::npos);

@@ -24,9 +24,9 @@ TEST(PerfRecord, ParsesLiveJsonReport)
     metrics::observe("hist.latency", 2.0);
     const PerfRecord record =
         parsePerfRecord(metrics::jsonReport("round_trip"));
-    EXPECT_EQ(record.schema, "youtiao-perf-4");
+    EXPECT_EQ(record.schema, "youtiao-perf-5");
     EXPECT_EQ(record.benchmark, "round_trip");
-    // perf-4 config block: the live report always stamps the active
+    // perf-4+ config block: the live report always stamps the active
     // SIMD level and the host CPU feature summary.
     ASSERT_TRUE(record.simdLevel.has_value());
     EXPECT_FALSE(record.simdLevel->empty());

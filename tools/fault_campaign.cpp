@@ -6,7 +6,7 @@
  *   fault_campaign [--rates R1,R2,...] [--seeds N] [--base-seed S]
  *                  [--topology NAME] [--rows N] [--cols N] [--chip FILE]
  *                  [--inject-faults SPEC] [--no-route] [--out FILE]
- *                  [--log-level LEVEL]
+ *                  [--profile] [--trace FILE] [--log-level LEVEL]
  *
  * Every (rate, seed) cell generates a random defect set, applies it to
  * the chip, designs the degraded chip with the graceful-degradation
@@ -14,6 +14,13 @@
  * design or a structured failure -- never a crash. The campaign record
  * ("youtiao-fault-campaign-1", docs/FAULT_INJECTION.md) goes to --out
  * (default fault_campaign.json); a human summary goes to stdout.
+ *
+ * Observability: --profile prints the metrics phase table, --trace
+ * writes a Chrome trace of the campaign spans, the flight recorder is
+ * armed (FLIGHT_fault_campaign.json on a crash or DesignError, see
+ * common/flight.hpp), YOUTIAO_WATCHDOG starts the resource sampler, and
+ * when $YOUTIAO_RUN_LEDGER is set every campaign appends a run manifest
+ * so sweeps are trend-analyzable with perf_trend.
  *
  * Exit codes: 0 every run accounted for (design DRC-clean or structured
  * failure), 1 some run was not, 2 usage / bad argument.
@@ -32,7 +39,12 @@
 #include "common/cli_parse.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/flight.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/runledger.hpp"
+#include "common/trace.hpp"
+#include "common/watchdog.hpp"
 #include "core/fault_campaign.hpp"
 
 namespace {
@@ -49,6 +61,7 @@ usage(const char *argv0)
         "low-density|grid]\n"
         "          [--rows N] [--cols N] [--chip FILE]\n"
         "          [--inject-faults SPEC] [--no-route] [--out FILE]\n"
+        "          [--profile] [--trace FILE]\n"
         "          [--log-level error|warn|info|debug]\n"
         "  --rates: comma-separated defect rates in [0,1] "
         "(default 0.01,0.05,0.10)\n"
@@ -56,7 +69,9 @@ usage(const char *argv0)
         "  --inject-faults: fault spec site[:rate[:seed]][,...] "
         "(also YOUTIAO_FAULTS)\n"
         "  --no-route: skip routing + DRC of surviving designs\n"
-        "  --out: campaign JSON path (default fault_campaign.json)\n",
+        "  --out: campaign JSON path (default fault_campaign.json)\n"
+        "  --profile: print the phase/counter profile after the sweep\n"
+        "  --trace: write a Chrome trace of the campaign to FILE\n",
         argv0);
     std::exit(2);
 }
@@ -84,13 +99,15 @@ parseRates(const char *text)
 } // namespace
 
 int
-main(int argc, char **argv)
+runCampaign(int argc, char **argv, runledger::Recorder &recorder)
 {
     FaultCampaignConfig campaign;
     std::string topology = "grid";
     std::size_t rows = 5, cols = 5;
     std::string chip_path;
     std::string out_path = "fault_campaign.json";
+    std::string trace_path;
+    bool profile = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -120,6 +137,10 @@ main(int argc, char **argv)
                 campaign.route = false;
             else if (arg == "--out")
                 out_path = next();
+            else if (arg == "--profile")
+                profile = true;
+            else if (arg == "--trace")
+                trace_path = next();
             else if (arg == "--log-level") {
                 const char *name = next();
                 if (!log::setLevelByName(name)) {
@@ -159,6 +180,10 @@ main(int argc, char **argv)
     else
         usage(argv[0]);
 
+    watchdog::startFromEnv();
+    if (!trace_path.empty())
+        trace::Tracer::global().enable();
+
     try {
         ChipTopology chip;
         if (chip_path.empty()) {
@@ -179,9 +204,28 @@ main(int argc, char **argv)
             }
         }
         campaign.designer.seed = campaign.baseSeed;
+        if (runledger::ledgerConfigured()) {
+            recorder.hashBytes("chip", chipToString(chip));
+            recorder.setHash("seed",
+                             std::to_string(campaign.baseSeed));
+            std::ostringstream cfg;
+            cfg << "rates=";
+            for (double rate : campaign.defectRates)
+                cfg << rate << ",";
+            cfg << "seeds=" << campaign.seedsPerRate
+                << ",route=" << campaign.route
+                << ",faults=" << campaign.faultSpec;
+            recorder.hashBytes("config", cfg.str());
+        }
 
         const FaultCampaignSummary summary =
             runFaultCampaign(chip, campaign);
+
+        recorder.addNote("runs=" + std::to_string(summary.runs.size()) +
+                         " ok=" + std::to_string(summary.okCount) +
+                         " failed=" + std::to_string(summary.failedCount) +
+                         " degraded=" +
+                         std::to_string(summary.degradedCount));
 
         std::ofstream out(out_path);
         if (!out) {
@@ -205,6 +249,16 @@ main(int argc, char **argv)
                     campaign.seedsPerRate, summary.okCount,
                     summary.degradedCount, summary.failedCount,
                     summary.drcViolationCount, out_path.c_str());
+        if (profile)
+            std::fputs(metrics::phaseTable().c_str(), stdout);
+        if (!trace_path.empty()) {
+            trace::Tracer::global().disable();
+            if (!trace::Tracer::global().writeJson(trace_path)) {
+                std::fprintf(stderr, "error: cannot write trace %s\n",
+                             trace_path.c_str());
+                return 1;
+            }
+        }
         if (!summary.allRunsAccounted()) {
             std::fprintf(stderr,
                          "error: some runs ended neither in a DRC-clean "
@@ -217,4 +271,16 @@ main(int argc, char **argv)
         return 1;
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    flight::install("fault_campaign");
+    runledger::Recorder recorder("fault_campaign", argc, argv);
+    const int status = runCampaign(argc, argv, recorder);
+    watchdog::stop();
+    recorder.setExitStatus(status);
+    recorder.finish();
+    return status;
 }

@@ -41,6 +41,16 @@
  * youtiao-drift-adaptation-1). --log-level raises the
  * structured-log threshold (error|warn|info|debug; also YOUTIAO_LOG).
  *
+ * Observability: the crash flight recorder is armed on startup
+ * (FLIGHT_youtiao_cli.json on a fatal signal, uncaught exception, or
+ * DesignError; see common/flight.hpp), YOUTIAO_WATCHDOG starts the
+ * resource sampler with optional per-phase stall budgets, and when
+ * $YOUTIAO_RUN_LEDGER is set every invocation appends a run manifest
+ * (schema "youtiao-run-1") with input hashes, phase timings and peak
+ * RSS, ready for trend analysis with tools/perf_trend. All three are
+ * observation-only: the designed wiring is byte-identical with or
+ * without them.
+ *
  * Exit codes: 0 success, 1 runtime failure (including structured design
  * failures), 2 usage / bad argument (including chip files that fail to
  * parse).
@@ -62,9 +72,12 @@
 #include "common/cli_parse.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/flight.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/runledger.hpp"
 #include "common/trace.hpp"
+#include "common/watchdog.hpp"
 #include "core/baselines.hpp"
 #include "core/drift_adaptation.hpp"
 #include "core/report.hpp"
@@ -75,6 +88,12 @@
 namespace {
 
 using namespace youtiao;
+
+/** Thrown instead of std::exit so the run-ledger recorder in main()
+ *  still observes the failure and finishes its manifest. */
+struct ExitFailure {
+    int code;
+};
 
 [[noreturn]] void
 usage(const char *argv0)
@@ -160,7 +179,7 @@ medianPhases(std::vector<std::map<std::string, metrics::PhaseStats>> &runs)
 } // namespace
 
 int
-main(int argc, char **argv)
+runCli(int argc, char **argv, runledger::Recorder &recorder)
 {
     std::string topology = "grid";
     std::size_t rows = 6, cols = 6;
@@ -293,6 +312,8 @@ main(int argc, char **argv)
     else
         usage(argv[0]);
 
+    watchdog::startFromEnv();
+
     try {
         ChipTopology chip;
         if (chip_path.empty()) {
@@ -326,6 +347,22 @@ main(int argc, char **argv)
         config.fdm.lineCapacity = capacity;
         config.tdm.parallelismThreshold = theta;
         config.fit.forest.treeCount = 25;
+
+        // Input provenance for the run ledger: identical inputs hash
+        // identically, so drift in a manifest's hashes flags a changed
+        // chip or configuration before anyone compares timings.
+        if (runledger::ledgerConfigured()) {
+            recorder.hashBytes("chip", chipToString(chip));
+            recorder.setHash("seed", std::to_string(seed));
+            recorder.hashBytes(
+                "config",
+                "topology=" + topology +
+                    ",capacity=" + std::to_string(capacity) +
+                    ",theta=" + std::to_string(theta) +
+                    ",hierarchical=" + (hierarchical ? "1" : "0") +
+                    ",tile_size=" + std::to_string(tile_size) +
+                    ",faults=" + fault_spec);
+        }
 
         if (hierarchical) {
             // Tiled scale-out: per-tile synthetic characterization
@@ -392,7 +429,7 @@ main(int argc, char **argv)
                 const std::string what = result.error().toString();
                 log::error("design failed", {{"error", what}});
                 std::fprintf(stderr, "design error: %s\n", what.c_str());
-                std::exit(1);
+                throw ExitFailure{1};
             }
             return std::move(result.value());
         };
@@ -421,6 +458,10 @@ main(int argc, char **argv)
             maybe_design = run_design();
         }
         const YoutiaoDesign &design = *maybe_design;
+        if (runledger::ledgerConfigured()) {
+            for (const std::string &note : design.degradation.notes)
+                recorder.addNote("degradation: " + note);
+        }
 
         std::fputs(wiringReport(chip, design, config).c_str(), stdout);
         if (!save_path.empty()) {
@@ -534,10 +575,24 @@ main(int argc, char **argv)
             }
             std::printf("\ntrace written to %s\n", trace_path.c_str());
         }
+    } catch (const ExitFailure &e) {
+        return e.code;
     } catch (const std::exception &e) {
         log::error("run failed", {{"what", e.what()}});
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    flight::install("youtiao_cli");
+    runledger::Recorder recorder("youtiao_cli", argc, argv);
+    const int status = runCli(argc, argv, recorder);
+    watchdog::stop();
+    recorder.setExitStatus(status);
+    recorder.finish();
+    return status;
 }
