@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "chip/topology.hpp"
+#include "common/atomic_io.hpp"
 #include "common/flight.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
@@ -88,12 +89,12 @@ class PerfReport
         std::string path =
             dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : "";
         path += "BENCH_" + name_ + ".json";
-        std::ofstream out(path);
-        if (!out) {
+        // Atomic write: a bench killed mid-record leaves the previous
+        // BENCH_*.json (or none), never a torn one for perf_trend.
+        if (!io::atomicWriteFileNoThrow(path, metrics::jsonReport(name_))) {
             log::warn("cannot write perf record", {{"path", path}});
             return;
         }
-        out << metrics::jsonReport(name_);
         log::info("perf record written", {{"path", path}});
         // Keep the human-readable breadcrumb the bench scripts grep for.
         std::fprintf(stderr, "perf record written to %s\n", path.c_str());

@@ -1,0 +1,117 @@
+#include "common/atomic_io.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define YOUTIAO_ATOMIC_IO_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace youtiao::io {
+
+namespace {
+
+std::string
+tempPathFor(const std::string &path)
+{
+#if YOUTIAO_ATOMIC_IO_POSIX
+    return path + ".tmp." + std::to_string(::getpid());
+#else
+    return path + ".tmp";
+#endif
+}
+
+/** Returns "" on success, else what failed (for the error message). */
+std::string
+writeReplace(const std::string &path, const void *data, std::size_t size)
+{
+    const std::string tmp = tempPathFor(path);
+#if YOUTIAO_ATOMIC_IO_POSIX
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return "cannot create '" + tmp + "': " + std::strerror(errno);
+    const char *at = static_cast<const char *>(data);
+    std::size_t left = size;
+    while (left > 0) {
+        const ssize_t n = ::write(fd, at, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string why = std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return "short write to '" + tmp + "': " + why;
+        }
+        at += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    // The rename must not be reordered before the data reaches the disk,
+    // or a crash could publish a name pointing at unwritten blocks.
+    if (::fsync(fd) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return "cannot fsync '" + tmp + "': " + why;
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        return "cannot close '" + tmp + "'";
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const std::string why = std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return "cannot rename '" + tmp + "' to '" + path +
+               "': " + why;
+    }
+    return "";
+#else
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return "cannot create '" + tmp + "'";
+        out.write(static_cast<const char *>(data),
+                  static_cast<std::streamsize>(size));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return "short write to '" + tmp + "'";
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return "cannot rename '" + tmp + "' to '" + path + "'";
+    }
+    return "";
+#endif
+}
+
+} // namespace
+
+void
+atomicWriteFile(const std::string &path, const void *data,
+                std::size_t size)
+{
+    const std::string failure = writeReplace(path, data, size);
+    requireConfig(failure.empty(), failure);
+}
+
+bool
+atomicWriteFileNoThrow(const std::string &path,
+                       const std::string &bytes) noexcept
+{
+    try {
+        return writeReplace(path, bytes.data(), bytes.size()).empty();
+    } catch (...) {
+        return false;
+    }
+}
+
+} // namespace youtiao::io

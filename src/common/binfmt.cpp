@@ -73,6 +73,18 @@ readWholeFile(const std::string &path, std::size_t size)
 
 } // namespace
 
+std::uint64_t
+fnv1a(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
 MappedFile::MappedFile(const std::string &path)
 {
 #if YOUTIAO_BINFMT_HAVE_MMAP
@@ -192,7 +204,9 @@ Writer::toBytes() const
         offsets.push_back(cursor);
         cursor += s.payload.size();
     }
-    const std::size_t file_size = cursor;
+    const std::size_t payload_end = cursor;
+    const std::size_t file_size =
+        payload_end + (checksum_ ? kTrailerBytes : 0);
 
     std::vector<unsigned char> out(file_size, 0);
     std::memcpy(out.data(), magic_, 8);
@@ -200,6 +214,8 @@ Writer::toBytes() const
     storeU32(out.data() + 12,
              static_cast<std::uint32_t>(sections_.size()));
     storeU64(out.data() + 16, file_size);
+    if (checksum_)
+        storeU32(out.data() + 24, kFlagChecksum);
 
     for (std::size_t i = 0; i < sections_.size(); ++i) {
         const Section &s = sections_[i];
@@ -212,6 +228,14 @@ Writer::toBytes() const
         if (!s.payload.empty())
             std::memcpy(out.data() + offsets[i], s.payload.data(),
                         s.payload.size());
+    }
+    if (checksum_) {
+        // Hash everything before the trailer -- header (including the
+        // declared size and flags), table, payloads and padding -- so a
+        // flip anywhere in the file invalidates the trailer.
+        unsigned char *trailer = out.data() + payload_end;
+        std::memcpy(trailer, kTrailerMagic, 8);
+        storeU64(trailer + 8, fnv1a(out.data(), payload_end));
     }
     return out;
 }
@@ -260,10 +284,32 @@ Reader::Reader(std::span<const unsigned char> bytes, const char *magic,
                       " does not match the real size " +
                       std::to_string(bytes.size()) +
                       " (truncated or corrupt)");
+    const std::uint32_t flags = loadU32(bytes.data() + 24);
+    requireConfig((flags & ~kFlagChecksum) == 0,
+                  what_ + ": unknown header flags " +
+                      std::to_string(flags) +
+                      " (written by a newer youtiao)");
+    // Sections must fit before the trailer when one is present; verify
+    // the checksum before trusting a single table entry.
+    std::size_t payload_end = bytes.size();
+    if ((flags & kFlagChecksum) != 0) {
+        requireConfig(bytes.size() >= kHeaderBytes + kTrailerBytes,
+                      what_ + ": too small for its checksum trailer");
+        payload_end = bytes.size() - kTrailerBytes;
+        const unsigned char *trailer = bytes.data() + payload_end;
+        requireConfig(std::memcmp(trailer, kTrailerMagic, 8) == 0,
+                      what_ + ": checksum trailer magic is garbled "
+                              "(truncated or corrupt)");
+        const std::uint64_t stored = loadU64(trailer + 8);
+        const std::uint64_t actual = fnv1a(bytes.data(), payload_end);
+        requireConfig(stored == actual,
+                      what_ + ": checksum mismatch (file corrupt)");
+        checksummed_ = true;
+    }
     const std::size_t table_end =
         kHeaderBytes +
         kSectionEntryBytes * static_cast<std::size_t>(section_count);
-    requireConfig(table_end <= bytes.size(),
+    requireConfig(table_end <= payload_end,
                   what_ + ": section table truncated");
 
     sections_.reserve(section_count);
@@ -296,8 +342,8 @@ Reader::Reader(std::span<const unsigned char> bytes, const char *magic,
                           "' payload is misaligned");
         // Overflow-safe bounds: divide instead of multiplying the
         // attacker-controlled count by the element size.
-        requireConfig(offset <= bytes.size() &&
-                          section.count <= (bytes.size() - offset) /
+        requireConfig(offset <= payload_end &&
+                          section.count <= (payload_end - offset) /
                                                section.elemSize,
                       what_ + ": section '" + section.name +
                           "' extends past the end of the file");

@@ -17,6 +17,17 @@
  * or garbled tables all raise ConfigError (never UB, never a huge
  * allocation). Writers produce canonical files: sections in the order
  * added, payloads packed in table order, zero padding.
+ *
+ * Integrity trailer (opt-in): a writer with enableChecksum() sets bit 0
+ * of the u32 flags word at header offset 24 (zero padding in every file
+ * written before the flag existed, so old files read as flag-free) and
+ * appends a 64-byte trailer -- 8-byte magic "YTCKSUM1", u64 FNV-1a of
+ * every byte before the trailer, zero padding. Readers verify the
+ * checksum before the section table is trusted and reject unknown flag
+ * bits, so a torn or bit-flipped file fails loudly. The checkpoint
+ * journal (common/checkpoint.hpp) always writes the trailer; the chip
+ * and design formats stay flag-free so their files are byte-identical
+ * to earlier builds.
  */
 
 #ifndef YOUTIAO_COMMON_BINFMT_HPP
@@ -45,6 +56,15 @@ inline constexpr std::size_t kPayloadAlign = 64;
 inline constexpr std::size_t kSectionNameBytes = 12;
 /** Sanity cap on the section table; both formats use far fewer. */
 inline constexpr std::uint32_t kMaxSections = 64;
+/** Bytes of the optional integrity trailer at the end of the file. */
+inline constexpr std::size_t kTrailerBytes = 64;
+/** Header flag bit: the file ends in a checksum trailer. */
+inline constexpr std::uint32_t kFlagChecksum = 1u;
+/** Trailer magic (8 bytes, not NUL-terminated). */
+inline constexpr char kTrailerMagic[9] = "YTCKSUM1";
+
+/** FNV-1a over @p size bytes, the trailer's hash function. */
+std::uint64_t fnv1a(const void *data, std::size_t size);
 
 /**
  * Read-only view of a whole file, preferring mmap (zero-copy) and
@@ -112,6 +132,10 @@ class Writer
         addSection(name, 1, v.data(), v.size());
     }
 
+    /** Append the integrity trailer when rendering (sets header flag
+     *  bit 0). Off by default so existing formats stay byte-identical. */
+    void enableChecksum() { checksum_ = true; }
+
     /** Render the complete file image. */
     std::vector<unsigned char> toBytes() const;
 
@@ -130,6 +154,7 @@ class Writer
 
     char magic_[8];
     std::uint32_t schemaVersion_ = 0;
+    bool checksum_ = false;
     std::vector<Section> sections_;
 };
 
@@ -154,6 +179,9 @@ class Reader
 
     /** Schema version the file declares (for migration shims). */
     std::uint32_t schemaVersion() const { return schemaVersion_; }
+
+    /** True when the file carried (and passed) a checksum trailer. */
+    bool checksummed() const { return checksummed_; }
 
     std::size_t sectionCount() const { return sections_.size(); }
 
@@ -184,6 +212,7 @@ class Reader
 
     std::string what_;
     std::uint32_t schemaVersion_ = 0;
+    bool checksummed_ = false;
     std::vector<Section> sections_;
 };
 

@@ -1,0 +1,140 @@
+#include "common/cancel.hpp"
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/flight.hpp"
+
+namespace youtiao::cancel {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+} // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Latched once the token fired; later polls skip the clock. */
+std::atomic<bool> g_tripped{false};
+std::atomic<int> g_reason{static_cast<int>(Reason::Cancelled)};
+/** Deadline as Clock nanoseconds-since-epoch; 0 = no deadline. */
+std::atomic<std::int64_t> g_deadlineNs{0};
+
+std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+void
+trip(Reason reason)
+{
+    // First trip wins; a deadline firing after an explicit cancel must
+    // not rewrite the reason under a concurrent poll.
+    bool expected = false;
+    if (g_tripped.compare_exchange_strong(expected, true,
+                                          std::memory_order_relaxed)) {
+        g_reason.store(static_cast<int>(reason),
+                       std::memory_order_relaxed);
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+void
+pollSlow(const char *where)
+{
+    if (!g_tripped.load(std::memory_order_relaxed)) {
+        const std::int64_t deadline =
+            g_deadlineNs.load(std::memory_order_relaxed);
+        if (deadline == 0)
+            return;
+        // One steady_clock read per armed poll. The hot loops stride
+        // their own polls (the maze routers check every 4096
+        // expansions), so the read amortizes to noise there, and the
+        // barrier-level polls -- a handful per tile/epoch/cell -- get
+        // deadline latency equal to one unit of work instead of 64.
+        if (nowNs() < deadline)
+            return;
+        trip(Reason::DeadlineExceeded);
+    }
+    const auto reason =
+        static_cast<Reason>(g_reason.load(std::memory_order_relaxed));
+    // Breadcrumb before unwinding: the dump written when the robust
+    // entry point converts this into a DesignError then shows which
+    // loop observed the abort.
+    if (flight::enabled())
+        flight::note(std::string("cancel: ") + reasonName(reason) +
+                     " at " + where);
+    throw Cancelled(reason, where);
+}
+
+} // namespace detail
+
+const char *
+reasonName(Reason reason)
+{
+    switch (reason) {
+      case Reason::Cancelled:
+        return "cancelled";
+      case Reason::DeadlineExceeded:
+        return "deadline_exceeded";
+    }
+    return "unknown";
+}
+
+Cancelled::Cancelled(Reason reason, std::string where)
+    : reason_(reason)
+    , where_(std::move(where))
+    , what_(std::string("run ") + reasonName(reason) + " at " + where_)
+{}
+
+void
+armDeadline(double seconds)
+{
+    requireConfig(seconds > 0.0, "--deadline must be a positive number "
+                                 "of seconds");
+    g_tripped.store(false, std::memory_order_relaxed);
+    g_deadlineNs.store(
+        nowNs() + static_cast<std::int64_t>(seconds * 1e9),
+        std::memory_order_relaxed);
+    detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void
+requestCancel(const char *why)
+{
+    if (flight::enabled())
+        flight::note(std::string("cancel requested: ") +
+                     (why != nullptr ? why : ""));
+    trip(Reason::Cancelled);
+    detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void
+disarm()
+{
+    detail::g_armed.store(false, std::memory_order_relaxed);
+    g_deadlineNs.store(0, std::memory_order_relaxed);
+    g_tripped.store(false, std::memory_order_relaxed);
+}
+
+bool
+tripped()
+{
+    if (!armed())
+        return false;
+    if (g_tripped.load(std::memory_order_relaxed))
+        return true;
+    const std::int64_t deadline =
+        g_deadlineNs.load(std::memory_order_relaxed);
+    return deadline != 0 && nowNs() >= deadline;
+}
+
+} // namespace youtiao::cancel

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Crash-safe checkpoint journal for resumable runs.
+ *
+ * A checkpoint directory holds one MANIFEST.json (schema
+ * "youtiao-ckpt-1": tool name plus FNV input hashes of the chip,
+ * seed and configuration -- the same hashes the run ledger records) and
+ * a set of snapshot files `ckpt-<seq>-<keyhash>.bin`, each a binfmt
+ * section file (magic "YTCKPT01") with a mandatory checksum trailer and
+ * two sections: the snapshot key and an opaque payload. Snapshots are
+ * written atomically (temp + fsync + rename, common/atomic_io.hpp) at
+ * the pipeline's natural barriers -- per tile in hierarchical design
+ * and routing, per epoch in drift adaptation, per cell in fault
+ * campaigns -- so a SIGKILL at any instant leaves the journal readable.
+ *
+ * Resume: open(dir, ..., resume=true) verifies the manifest hashes
+ * against the new run's inputs (refusing to resume with a different
+ * chip/config/seed), then loads every valid snapshot, keeping the
+ * highest sequence number per key; a snapshot whose checksum fails --
+ * torn write, bit flip -- is counted as rejected and the previous good
+ * one (or a live recompute) covers its key. Units whose snapshot loaded
+ * are skipped via fetch(); because every payload serializes the exact
+ * bytes the computation produced (IEEE-754 doubles memcpy'd, not
+ * printed), a resumed run's final artifact is byte-identical to an
+ * uninterrupted one.
+ *
+ * The session is ambient (one per process, like fault/trace): library
+ * code calls checkpoint::active()/fetch()/store() and pays one relaxed
+ * load when no session is open, keeping clean runs bit-identical.
+ * store/fetch are mutex-guarded so parallel tile tasks can snapshot
+ * concurrently. Fault sites `checkpoint.write` (garble the bytes),
+ * `checkpoint.rename` (crash before publish) and `checkpoint.read`
+ * (unreadable snapshot) let tests force every failure mode.
+ */
+
+#ifndef YOUTIAO_COMMON_CHECKPOINT_HPP
+#define YOUTIAO_COMMON_CHECKPOINT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace youtiao::checkpoint {
+
+namespace detail {
+extern std::atomic<bool> g_active;
+} // namespace detail
+
+/** True while a session is open. The single relaxed load every
+ *  instrumented barrier pays when checkpointing is off. */
+inline bool
+active()
+{
+    return detail::g_active.load(std::memory_order_relaxed);
+}
+
+/** Journal accounting, for tests and the crash drill. */
+struct Stats
+{
+    /** Valid snapshots loaded at open (highest seq per key). */
+    std::size_t snapshotsLoaded = 0;
+    /** Snapshot files rejected at open (bad checksum, torn, garbled). */
+    std::size_t snapshotsRejected = 0;
+    std::size_t stores = 0;
+    /** fetch() calls that found a snapshot. */
+    std::size_t fetchHits = 0;
+};
+
+/**
+ * Open the ambient session on @p dir (created if missing). @p tool and
+ * @p input_hashes (name -> hex hash) identify the run in MANIFEST.json.
+ * With @p resume false any stale snapshots and manifest are deleted;
+ * with @p resume true the manifest must match the hashes (ConfigError
+ * otherwise -- resuming under different inputs would splice
+ * incompatible results) and surviving snapshots are loaded. Throws
+ * ConfigError when the directory is unusable. Only one session may be
+ * open; open() while active is an InternalError.
+ */
+void open(const std::string &dir, const std::string &tool,
+          const std::map<std::string, std::string> &input_hashes,
+          bool resume);
+
+/** Close the session. Loaded snapshots are dropped; files stay on disk
+ *  so a later run can resume past this one. No-op when not active. */
+void close();
+
+Stats stats();
+
+/**
+ * Look up @p key among the snapshots loaded at open. On a hit, @p
+ * payload receives the stored bytes and the unit can be skipped.
+ * Always false when no session is active.
+ */
+bool fetch(const std::string &key, std::vector<std::uint8_t> &payload);
+
+/** Persist @p size bytes as the latest snapshot of @p key. No-op when
+ *  no session is active; write failures are logged, not thrown (a
+ *  checkpoint must never kill the run it protects). */
+void store(const std::string &key, const void *data, std::size_t size);
+
+inline void
+store(const std::string &key, const std::vector<std::uint8_t> &payload)
+{
+    store(key, payload.data(), payload.size());
+}
+
+/**
+ * Byte-exact little-endian payload serializer. Doubles are memcpy'd
+ * IEEE-754 bits -- never formatted -- so a resumed run reproduces the
+ * uninterrupted run's artifacts bit for bit.
+ */
+class ByteWriter
+{
+  public:
+    void
+    u64(std::uint64_t v)
+    {
+        append(&v, sizeof v);
+    }
+
+    void
+    f64(double v)
+    {
+        append(&v, sizeof v);
+    }
+
+    void
+    boolean(bool v)
+    {
+        const std::uint8_t b = v ? 1 : 0;
+        append(&b, 1);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        append(s.data(), s.size());
+    }
+
+    void
+    vecU64(const std::vector<std::size_t> &v)
+    {
+        u64(v.size());
+        for (const std::size_t x : v)
+            u64(x);
+    }
+
+    void
+    vecF64(const std::vector<double> &v)
+    {
+        u64(v.size());
+        append(v.data(), v.size() * sizeof(double));
+    }
+
+    void
+    vecVecU64(const std::vector<std::vector<std::size_t>> &v)
+    {
+        u64(v.size());
+        for (const auto &inner : v)
+            vecU64(inner);
+    }
+
+    void
+    vecStr(const std::vector<std::string> &v)
+    {
+        u64(v.size());
+        for (const auto &s : v)
+            str(s);
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    void
+    append(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        bytes_.insert(bytes_.end(), p, p + size);
+    }
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Mirror of ByteWriter; throws ConfigError on truncation so a
+ *  mis-sized payload fails loudly instead of reading garbage. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<std::uint8_t> &bytes)
+        : bytes_(bytes)
+    {}
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        take(&v, sizeof v);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        double v = 0;
+        take(&v, sizeof v);
+        return v;
+    }
+
+    bool
+    boolean()
+    {
+        std::uint8_t b = 0;
+        take(&b, 1);
+        return b != 0;
+    }
+
+    std::string str();
+    std::vector<std::size_t> vecU64();
+    std::vector<double> vecF64();
+    std::vector<std::vector<std::size_t>> vecVecU64();
+    std::vector<std::string> vecStr();
+
+    /** True once every byte was consumed (payload shape sanity). */
+    bool exhausted() const { return at_ == bytes_.size(); }
+
+  private:
+    void take(void *out, std::size_t size);
+
+    const std::vector<std::uint8_t> &bytes_;
+    std::size_t at_ = 0;
+};
+
+} // namespace youtiao::checkpoint
+
+#endif // YOUTIAO_COMMON_CHECKPOINT_HPP

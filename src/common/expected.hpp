@@ -44,6 +44,23 @@ enum class DesignStage
 const char *designStageName(DesignStage stage);
 
 /**
+ * Failure class of a DesignError. Failed covers every infeasible-input
+ * failure; Cancelled/DeadlineExceeded mark a cooperative abort
+ * (common/cancel.hpp), which tools map to their own exit code (3) so
+ * schedulers can tell "this input cannot be designed" from "the budget
+ * ran out".
+ */
+enum class DesignErrorCode
+{
+    Failed,
+    Cancelled,
+    DeadlineExceeded,
+};
+
+/** Stable lower-case name ("failed", "cancelled", ...). */
+const char *designErrorCodeName(DesignErrorCode code);
+
+/**
  * A typed, recoverable design failure: which stage gave up, why, and any
  * key=value context worth reporting (offending qubit, attempt budget,
  * net id). Rendered into CLI error output and campaign JSON.
@@ -52,12 +69,14 @@ struct DesignError
 {
     DesignStage stage = DesignStage::Validation;
     std::string message;
+    DesignErrorCode code = DesignErrorCode::Failed;
     /** "key=value" detail pairs, in the order they were attached. */
     std::vector<std::string> context;
 
     DesignError() = default;
-    DesignError(DesignStage error_stage, std::string msg)
-        : stage(error_stage), message(std::move(msg))
+    DesignError(DesignStage error_stage, std::string msg,
+                DesignErrorCode error_code = DesignErrorCode::Failed)
+        : stage(error_stage), message(std::move(msg)), code(error_code)
     {
         // Post-mortem breadcrumb: when a tool armed the flight recorder
         // (flight::install), every recoverable failure snapshots the
@@ -66,6 +85,13 @@ struct DesignError
         if (flight::enabled())
             flight::noteDesignError(designStageName(stage),
                                     message.c_str());
+    }
+
+    /** True for the cooperative-abort codes. */
+    bool
+    isCancellation() const
+    {
+        return code != DesignErrorCode::Failed;
     }
 
     DesignError &
@@ -99,6 +125,20 @@ struct DesignError
         return out;
     }
 };
+
+inline const char *
+designErrorCodeName(DesignErrorCode code)
+{
+    switch (code) {
+      case DesignErrorCode::Failed:
+        return "failed";
+      case DesignErrorCode::Cancelled:
+        return "cancelled";
+      case DesignErrorCode::DeadlineExceeded:
+        return "deadline_exceeded";
+    }
+    return "unknown";
+}
 
 inline const char *
 designStageName(DesignStage stage)

@@ -1,5 +1,7 @@
 #include "common/trace.hpp"
 
+#include "common/atomic_io.hpp"
+
 #include <array>
 #include <chrono>
 #include <cstdio>
@@ -283,11 +285,9 @@ Tracer::toJson() const
 bool
 Tracer::writeJson(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << toJson();
-    return static_cast<bool>(out);
+    // Atomic (temp + fsync + rename): a crash mid-write leaves either
+    // the previous trace or none, never a truncated JSON.
+    return io::atomicWriteFileNoThrow(path, toJson());
 }
 
 } // namespace youtiao::trace

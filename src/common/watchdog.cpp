@@ -14,6 +14,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/cancel.hpp"
 #include "common/flight.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
@@ -170,6 +171,8 @@ checkStalls(State &s)
                                      {"budget_s", budget}});
         const std::string reason = "stall:" + name;
         flight::dump(reason.c_str());
+        if (s.config.cancelOnStall)
+            cancel::requestCancel(reason.c_str());
     }
 }
 
@@ -250,6 +253,8 @@ startFromEnv()
                       {{"value", env}});
         }
     }
+    if (const char *cancel_env = std::getenv("YOUTIAO_WATCHDOG_CANCEL"))
+        config.cancelOnStall = std::strcmp(cancel_env, "1") == 0;
     if (const char *spec = std::getenv("YOUTIAO_WATCHDOG_BUDGET")) {
         std::string_view rest(spec);
         while (!rest.empty()) {

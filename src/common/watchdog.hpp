@@ -32,6 +32,8 @@
  *                             number = sampling interval in ms
  *   YOUTIAO_WATCHDOG_BUDGET   "phase:seconds,phase:seconds,..." stall
  *                             budgets (e.g. "design.route:5,sim.run:30")
+ *   YOUTIAO_WATCHDOG_CANCEL   "1" = a blown budget also requests
+ *                             cooperative cancellation (common/cancel.hpp)
  */
 
 #ifndef YOUTIAO_COMMON_WATCHDOG_HPP
@@ -102,6 +104,13 @@ struct Config
     std::vector<std::pair<std::string, double>> phaseBudgets;
     /** Series cap; samples beyond it are dropped (counted). */
     std::size_t maxSamples = 100000;
+    /**
+     * A blown phase budget also trips cancel::requestCancel, so the run
+     * aborts cooperatively (structured error, flight dump) instead of
+     * hanging until an external kill. Opt-in via
+     * YOUTIAO_WATCHDOG_CANCEL=1; observation-only otherwise.
+     */
+    bool cancelOnStall = false;
 };
 
 /** Start the sampler thread. Returns false when already running. Clears

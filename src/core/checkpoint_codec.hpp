@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared checkpoint payload codecs for the pipeline's plan types.
+ *
+ * The per-tile (core/hierarchical.cpp), per-epoch
+ * (core/drift_adaptation.cpp) and per-cell (core/fault_campaign.cpp)
+ * checkpoint barriers all snapshot the same handful of plan structs;
+ * these inline helpers keep the byte layout in one place. Everything
+ * rides on checkpoint::ByteWriter/ByteReader, so doubles are memcpy'd
+ * IEEE-754 bits and a resumed run replays bit-identical state.
+ */
+
+#ifndef YOUTIAO_CORE_CHECKPOINT_CODEC_HPP
+#define YOUTIAO_CORE_CHECKPOINT_CODEC_HPP
+
+#include "common/checkpoint.hpp"
+#include "core/youtiao.hpp"
+
+namespace youtiao::ckptcodec {
+
+inline void
+putFdmPlan(checkpoint::ByteWriter &w, const FdmPlan &p)
+{
+    w.vecVecU64(p.lines);
+    w.vecU64(p.lineOfQubit);
+}
+
+inline FdmPlan
+getFdmPlan(checkpoint::ByteReader &r)
+{
+    FdmPlan p;
+    p.lines = r.vecVecU64();
+    p.lineOfQubit = r.vecU64();
+    return p;
+}
+
+inline void
+putFrequencyPlan(checkpoint::ByteWriter &w, const FrequencyPlan &p)
+{
+    w.vecF64(p.frequencyGHz);
+    w.vecU64(p.zoneOfQubit);
+    w.vecU64(p.cellOfQubit);
+    w.u64(p.zoneCount);
+    w.f64(p.crosstalkCost);
+}
+
+inline FrequencyPlan
+getFrequencyPlan(checkpoint::ByteReader &r)
+{
+    FrequencyPlan p;
+    p.frequencyGHz = r.vecF64();
+    p.zoneOfQubit = r.vecU64();
+    p.cellOfQubit = r.vecU64();
+    p.zoneCount = r.u64();
+    p.crosstalkCost = r.f64();
+    return p;
+}
+
+inline void
+putTdmPlan(checkpoint::ByteWriter &w, const TdmPlan &p)
+{
+    w.u64(p.groups.size());
+    for (const TdmGroup &g : p.groups) {
+        w.vecU64(g.devices);
+        w.u64(g.fanout);
+    }
+    w.vecU64(p.groupOfDevice);
+}
+
+inline TdmPlan
+getTdmPlan(checkpoint::ByteReader &r)
+{
+    TdmPlan p;
+    p.groups.resize(r.u64());
+    for (TdmGroup &g : p.groups) {
+        g.devices = r.vecU64();
+        g.fanout = r.u64();
+    }
+    p.groupOfDevice = r.vecU64();
+    return p;
+}
+
+inline void
+putDegradation(checkpoint::ByteWriter &w, const DegradationReport &d)
+{
+    w.vecU64(d.excludedQubits);
+    w.vecU64(d.excludedCouplers);
+    w.u64(d.allocationAttempts);
+    w.u64(d.fdmCapacityUsed);
+    w.u64(d.demuxFallbackDevices);
+    w.u64(d.dedicatedNetFallbacks);
+    w.f64(d.costDeltaUsd);
+    w.f64(d.residualCrosstalkCost);
+    w.vecStr(d.notes);
+}
+
+inline DegradationReport
+getDegradation(checkpoint::ByteReader &r)
+{
+    DegradationReport d;
+    d.excludedQubits = r.vecU64();
+    d.excludedCouplers = r.vecU64();
+    d.allocationAttempts = r.u64();
+    d.fdmCapacityUsed = r.u64();
+    d.demuxFallbackDevices = r.u64();
+    d.dedicatedNetFallbacks = r.u64();
+    d.costDeltaUsd = r.f64();
+    d.residualCrosstalkCost = r.f64();
+    d.notes = r.vecStr();
+    return d;
+}
+
+} // namespace youtiao::ckptcodec
+
+#endif // YOUTIAO_CORE_CHECKPOINT_CODEC_HPP

@@ -32,10 +32,12 @@
 #ifndef YOUTIAO_CORE_HIERARCHICAL_HPP
 #define YOUTIAO_CORE_HIERARCHICAL_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "chip/topology.hpp"
+#include "common/expected.hpp"
 #include "core/youtiao.hpp"
 #include "routing/chip_router.hpp"
 #include "routing/corridor_router.hpp"
@@ -172,10 +174,33 @@ class HierarchicalDesigner
                                          const TileMap &map,
                                          double w_phy = 0.6) const;
 
+    /**
+     * Structured-error variants of the two entry points above. A tile
+     * whose design fails, or a cooperative abort (common/cancel.hpp),
+     * comes back as a DesignError instead of an exception; cancellation
+     * carries code Cancelled/DeadlineExceeded and, when @p partial is
+     * non-null, records how far the tile fan-out got ("cancelled after
+     * N of M tiles") so a deadline-killed run still reports structured
+     * progress.
+     */
+    Expected<HierarchicalDesign, DesignError>
+    designSynthesizedRobust(const ChipTopology &chip, double w_phy = 0.6,
+                            DegradationReport *partial = nullptr) const;
+
+    Expected<HierarchicalDesign, DesignError>
+    designFromMeasurementsRobust(const ChipTopology &chip,
+                                 const ChipCharacterization &data,
+                                 double w_phy = 0.6,
+                                 DegradationReport *partial = nullptr) const;
+
   private:
     HierarchicalDesign designTiles(const ChipTopology &chip, TileMap map,
                                    const ChipCharacterization *data,
-                                   double w_phy) const;
+                                   double w_phy,
+                                   std::atomic<std::size_t> *tiles_done
+                                   = nullptr,
+                                   std::size_t *tiles_total
+                                   = nullptr) const;
 
     /** Boundary-aware frequency retune over the seam band. */
     void stitchSeamsImpl(const ChipTopology &chip,

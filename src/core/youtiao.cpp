@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/log.hpp"
@@ -11,6 +12,23 @@
 #include "noise/equivalent_distance.hpp"
 
 namespace youtiao {
+
+namespace {
+
+/** A cooperative abort surfaced as a structured error: which reason,
+ *  and which poll site observed it. */
+DesignError
+cancelledError(const cancel::Cancelled &e)
+{
+    const DesignErrorCode code =
+        e.reason() == cancel::Reason::DeadlineExceeded
+            ? DesignErrorCode::DeadlineExceeded
+            : DesignErrorCode::Cancelled;
+    return DesignError(DesignStage::Validation, e.what(), code)
+        .with("where", e.where());
+}
+
+} // namespace
 
 bool
 DegradationReport::empty() const
@@ -115,6 +133,7 @@ YoutiaoDesigner::finishDesign(const ChipTopology &chip,
                               YoutiaoDesign out) const
 {
     requireConfig(chip.qubitCount() > 0, "cannot design an empty chip");
+    cancel::poll("design.start");
     out.predictedXy = std::move(predicted_xy);
     out.predictedZzMHz = std::move(predicted_zz);
 
@@ -131,6 +150,7 @@ YoutiaoDesigner::finishDesign(const ChipTopology &chip,
     }
 
     Prng prng(config_.seed);
+    cancel::poll("design.partition");
     {
         const metrics::ScopedTimer timer("design.partition");
         const trace::TraceSpan span("design.partition", "design");
@@ -146,6 +166,7 @@ YoutiaoDesigner::finishDesign(const ChipTopology &chip,
         }
     }
 
+    cancel::poll("design.allocate");
     {
         const metrics::ScopedTimer timer("design.xy_grouping");
         const trace::TraceSpan span("design.xy_grouping", "design");
@@ -160,6 +181,7 @@ YoutiaoDesigner::finishDesign(const ChipTopology &chip,
         out.frequencyPlan = allocateFrequencies(
             out.xyPlan, out.predictedXy, noise, config_.frequency);
     }
+    cancel::poll("design.tdm");
     {
         const metrics::ScopedTimer timer("design.tdm_grouping");
         const trace::TraceSpan span("design.tdm_grouping", "design");
@@ -167,6 +189,7 @@ YoutiaoDesigner::finishDesign(const ChipTopology &chip,
                                         out.predictedZzMHz, config_.tdm);
     }
 
+    cancel::poll("design.readout");
     {
         const metrics::ScopedTimer timer("design.readout_planning");
         const trace::TraceSpan span("design.readout_planning", "design");
@@ -202,6 +225,8 @@ YoutiaoDesigner::designRobust(const ChipTopology &chip,
                                     "design");
         xy = CrosstalkModel::fit(data.xySamples, config_.fit);
         zz = CrosstalkModel::fit(data.zzSamples, config_.fit);
+    } catch (const cancel::Cancelled &e) {
+        return cancelledError(e);
     } catch (const std::exception &e) {
         return DesignError(DesignStage::ModelFit, e.what());
     }
@@ -224,13 +249,19 @@ YoutiaoDesigner::designWithModelsRobust(const ChipTopology &chip,
                                     "design");
         predicted_xy = xy_model.predictQubitMatrix(chip);
         predicted_zz = zz_model.predictQubitMatrix(chip);
+    } catch (const cancel::Cancelled &e) {
+        return cancelledError(e);
     } catch (const std::exception &e) {
         return DesignError(DesignStage::ModelFit,
                            std::string("prediction failed: ") + e.what());
     }
-    return finishDesignRobust(chip, std::move(predicted_xy),
-                              std::move(predicted_zz), xy_model.wPhy(),
-                              std::move(out));
+    try {
+        return finishDesignRobust(chip, std::move(predicted_xy),
+                                  std::move(predicted_zz),
+                                  xy_model.wPhy(), std::move(out));
+    } catch (const cancel::Cancelled &e) {
+        return cancelledError(e);
+    }
 }
 
 Expected<YoutiaoDesign, DesignError>
@@ -246,9 +277,13 @@ YoutiaoDesigner::designFromMeasurementsRobust(
             .with("xy_rows", data.xyCrosstalk.size())
             .with("zz_rows", data.zzCrosstalkMHz.size());
     }
-    return finishDesignRobust(chip, data.xyCrosstalk,
-                              data.zzCrosstalkMHz, w_phy,
-                              YoutiaoDesign{});
+    try {
+        return finishDesignRobust(chip, data.xyCrosstalk,
+                                  data.zzCrosstalkMHz, w_phy,
+                                  YoutiaoDesign{});
+    } catch (const cancel::Cancelled &e) {
+        return cancelledError(e);
+    }
 }
 
 Expected<YoutiaoDesign, DesignError>
@@ -264,6 +299,7 @@ YoutiaoDesigner::finishDesignRobust(const ChipTopology &chip,
     if (chip.qubitCount() == 0)
         return DesignError(DesignStage::Validation,
                            "cannot design an empty chip");
+    cancel::poll("design.start");
     out.predictedXy = std::move(predicted_xy);
     out.predictedZzMHz = std::move(predicted_zz);
     DegradationReport &degraded = out.degradation;
@@ -276,10 +312,13 @@ YoutiaoDesigner::finishDesignRobust(const ChipTopology &chip,
         const SymmetricMatrix d_top = qubitTopologicalDistanceMatrix(chip);
         d_equiv =
             equivalentDistanceMatrix(d_phy, d_top, w_phy, 1.0 - w_phy);
+    } catch (const cancel::Cancelled &) {
+        throw;
     } catch (const std::exception &e) {
         return DesignError(DesignStage::Validation, e.what());
     }
 
+    cancel::poll("design.partition");
     Prng prng(config_.seed);
     {
         const metrics::ScopedTimer timer("design.partition");
@@ -296,6 +335,8 @@ YoutiaoDesigner::finishDesignRobust(const ChipTopology &chip,
                 try {
                     out.partition = generativePartition(
                         chip, d_equiv, config_.partition, prng);
+                } catch (const cancel::Cancelled &) {
+                    throw;
                 } catch (const std::exception &e) {
                     degraded.notes.push_back(
                         std::string("partition failed (") + e.what() +
@@ -332,6 +373,7 @@ YoutiaoDesigner::finishDesignRobust(const ChipTopology &chip,
     bool allocated = false;
     for (std::size_t attempt = 0; attempt < budget && !allocated;
          ++attempt) {
+        cancel::poll("design.allocate");
         FdmGroupingConfig fdm_cfg = config_.fdm;
         fdm_cfg.lineCapacity = capacity;
         try {
@@ -384,6 +426,8 @@ YoutiaoDesigner::finishDesignRobust(const ChipTopology &chip,
                     std::to_string(capacity) + " (configured " +
                     std::to_string(configured_capacity) + ")");
             }
+        } catch (const cancel::Cancelled &) {
+            throw;
         } catch (const std::exception &e) {
             last_failure = e.what();
             metrics::count("design.allocation_retries");
@@ -410,6 +454,7 @@ YoutiaoDesigner::finishDesignRobust(const ChipTopology &chip,
             .with("final_capacity", capacity);
     }
 
+    cancel::poll("design.tdm");
     {
         const metrics::ScopedTimer timer("design.tdm_grouping");
         const trace::TraceSpan span("design.tdm_grouping", "design");
@@ -423,6 +468,8 @@ YoutiaoDesigner::finishDesignRobust(const ChipTopology &chip,
                 out.zPlan = groupTdmPartitioned(chip, out.partition,
                                                 out.predictedZzMHz,
                                                 config_.tdm);
+            } catch (const cancel::Cancelled &) {
+                throw;
             } catch (const std::exception &e) {
                 degraded.notes.push_back(
                     std::string("TDM grouping failed (") + e.what() +
@@ -476,6 +523,7 @@ YoutiaoDesigner::finishDesignRobust(const ChipTopology &chip,
         }
     }
 
+    cancel::poll("design.readout");
     {
         const metrics::ScopedTimer timer("design.readout_planning");
         const trace::TraceSpan span("design.readout_planning", "design");
@@ -490,6 +538,8 @@ YoutiaoDesigner::finishDesignRobust(const ChipTopology &chip,
         } else {
             try {
                 out.readout = planReadout(d_equiv, readout_cfg);
+            } catch (const cancel::Cancelled &) {
+                throw;
             } catch (const std::exception &e) {
                 degraded.notes.push_back(
                     std::string("readout planning failed (") + e.what() +

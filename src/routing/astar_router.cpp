@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
@@ -110,6 +111,10 @@ routeAstar(RoutingGrid &grid, Cell from, Cell to, std::int32_t net_id,
             continue;
         arena.close(state);
         ++expanded;
+        // Strided: the branch in poll() is one relaxed load, but even
+        // that is kept off the per-expansion critical path.
+        if ((expanded & 0xFFF) == 0)
+            cancel::poll("astar");
         const std::size_t idx = state / kDirCount;
         const int dir_in = static_cast<int>(state % kDirCount);
         const Cell here{idx % w, idx / w};

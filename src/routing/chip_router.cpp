@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/log.hpp"
@@ -226,6 +227,7 @@ routeOnce(const ChipTopology &chip, const std::vector<NetSpec> &nets,
 
     net_failed.assign(nets.size(), false);
     for (std::size_t net_index : order) {
+        cancel::poll("routing.net");
         const NetSpec &net = nets[net_index];
         requireConfig(!net.terminals.empty(), "net without terminals");
         const auto net_id = static_cast<std::int32_t>(net_index);
@@ -356,6 +358,7 @@ routeChip(const ChipTopology &chip, const std::vector<NetSpec> &nets,
     SearchArena arena;
     for (std::size_t attempt = 0; attempt < config.maxRetryPasses;
          ++attempt) {
+        cancel::poll("routing.pass");
         metrics::count("routing.attempts");
         if (attempt > 0)
             metrics::count("routing.retry_passes");

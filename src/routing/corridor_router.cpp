@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 
@@ -113,6 +114,8 @@ searchCorridor(const CorridorLattice &lattice, std::uint64_t from,
         if (gi == g.end() || cost > gi->second)
             continue; // stale queue entry
         ++expanded;
+        if ((expanded & 0xFFF) == 0)
+            cancel::poll("corridor");
         if (isGoal(id)) {
             goal = id;
             break;

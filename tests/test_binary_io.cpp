@@ -325,5 +325,68 @@ TEST(DesignBinary, RejectsHostileImages)
     }
 }
 
+TEST(BinFmt, ChecksumTrailerRoundTrips)
+{
+    binfmt::Writer writer("YTTESTBN", 1);
+    const std::vector<double> doubles{1.5, -2.25};
+    writer.addF64("doubles", doubles);
+    writer.enableChecksum();
+    const std::vector<unsigned char> image = writer.toBytes();
+
+    const binfmt::Reader reader(image, "YTTESTBN", 1, "test");
+    EXPECT_TRUE(reader.checksummed());
+    const auto d = reader.f64("doubles");
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_EQ(d[0], 1.5);
+    // An image without the trailer still loads, just unchecked.
+    binfmt::Writer plain("YTTESTBN", 1);
+    plain.addF64("doubles", doubles);
+    const std::vector<unsigned char> plain_image = plain.toBytes();
+    EXPECT_LT(plain_image.size(), image.size());
+    EXPECT_FALSE(
+        binfmt::Reader(plain_image, "YTTESTBN", 1, "test")
+            .checksummed());
+}
+
+TEST(BinFmt, ChecksumTrailerCatchesEveryFlippedByte)
+{
+    binfmt::Writer writer("YTTESTBN", 1);
+    const std::vector<double> doubles{3.0, 4.0, 5.0};
+    writer.addF64("doubles", doubles);
+    writer.enableChecksum();
+    const std::vector<unsigned char> image = writer.toBytes();
+    // Unlike the unchecksummed hostile-input sweep above, a flip
+    // anywhere in a checksummed image -- header, section table,
+    // payload, trailer magic or hash -- must raise ConfigError: the
+    // only don't-care bytes left are the trailer's 48 zero-padding
+    // bytes at the very end.
+    const std::size_t checked =
+        image.size() - (binfmt::kTrailerBytes - 16);
+    for (std::size_t at = 0; at < checked; ++at) {
+        std::vector<unsigned char> bad = image;
+        bad[at] ^= 0x40;
+        EXPECT_THROW(binfmt::Reader(bad, "YTTESTBN", 1, "test"),
+                     ConfigError)
+            << "flipped byte " << at;
+    }
+}
+
+TEST(BinFmt, ChecksumTrailerRejectsTruncation)
+{
+    binfmt::Writer writer("YTTESTBN", 1);
+    const std::vector<std::uint32_t> ints{9, 10, 11};
+    writer.addU32("ints", ints);
+    writer.enableChecksum();
+    const std::vector<unsigned char> image = writer.toBytes();
+    for (std::size_t drop = 1; drop <= binfmt::kTrailerBytes + 1;
+         ++drop) {
+        const std::vector<unsigned char> cut(
+            image.begin(), image.end() - static_cast<long>(drop));
+        EXPECT_THROW(binfmt::Reader(cut, "YTTESTBN", 1, "test"),
+                     ConfigError)
+            << "dropped " << drop << " bytes";
+    }
+}
+
 } // namespace
 } // namespace youtiao

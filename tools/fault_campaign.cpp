@@ -6,6 +6,7 @@
  *   fault_campaign [--rates R1,R2,...] [--seeds N] [--base-seed S]
  *                  [--topology NAME] [--rows N] [--cols N] [--chip FILE]
  *                  [--inject-faults SPEC] [--no-route] [--out FILE]
+ *                  [--deadline SECONDS] [--checkpoint DIR] [--resume]
  *                  [--profile] [--trace FILE] [--log-level LEVEL]
  *
  * Every (rate, seed) cell generates a random defect set, applies it to
@@ -22,8 +23,17 @@
  * when $YOUTIAO_RUN_LEDGER is set every campaign appends a run manifest
  * so sweeps are trend-analyzable with perf_trend.
  *
+ * Robustness: --deadline SECONDS arms a cooperative deadline
+ * (common/cancel.hpp) -- the sweep aborts between cells with a flight
+ * dump and exit code 3. --checkpoint DIR journals every finished cell
+ * (design, route, DRC verdict, fault counters); --resume replays a
+ * matching journal and fast-forwards the fault-injection counters, so
+ * the finished record is byte-identical to an uninterrupted sweep. The
+ * campaign JSON is written atomically (temp + fsync + rename).
+ *
  * Exit codes: 0 every run accounted for (design DRC-clean or structured
- * failure), 1 some run was not, 2 usage / bad argument.
+ * failure), 1 some run was not, 2 usage / bad argument, 3 cancelled /
+ * deadline exceeded.
  */
 
 #include <cstdio>
@@ -36,6 +46,9 @@
 
 #include "chip/chip_io.hpp"
 #include "chip/topology_builder.hpp"
+#include "common/atomic_io.hpp"
+#include "common/cancel.hpp"
+#include "common/checkpoint.hpp"
 #include "common/cli_parse.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
@@ -61,6 +74,7 @@ usage(const char *argv0)
         "low-density|grid]\n"
         "          [--rows N] [--cols N] [--chip FILE]\n"
         "          [--inject-faults SPEC] [--no-route] [--out FILE]\n"
+        "          [--deadline SECONDS] [--checkpoint DIR] [--resume]\n"
         "          [--profile] [--trace FILE]\n"
         "          [--log-level error|warn|info|debug]\n"
         "  --rates: comma-separated defect rates in [0,1] "
@@ -70,6 +84,9 @@ usage(const char *argv0)
         "(also YOUTIAO_FAULTS)\n"
         "  --no-route: skip routing + DRC of surviving designs\n"
         "  --out: campaign JSON path (default fault_campaign.json)\n"
+        "  --deadline: cancel the sweep after SECONDS (exit 3)\n"
+        "  --checkpoint: journal finished cells into DIR\n"
+        "  --resume: replay a matching journal from --checkpoint DIR\n"
         "  --profile: print the phase/counter profile after the sweep\n"
         "  --trace: write a Chrome trace of the campaign to FILE\n",
         argv0);
@@ -108,6 +125,9 @@ runCampaign(int argc, char **argv, runledger::Recorder &recorder)
     std::string out_path = "fault_campaign.json";
     std::string trace_path;
     bool profile = false;
+    double deadline_s = 0.0;
+    std::string checkpoint_dir;
+    bool resume = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -141,6 +161,13 @@ runCampaign(int argc, char **argv, runledger::Recorder &recorder)
                 profile = true;
             else if (arg == "--trace")
                 trace_path = next();
+            else if (arg == "--deadline")
+                deadline_s =
+                    parsePositiveDoubleArg(next(), "--deadline");
+            else if (arg == "--checkpoint")
+                checkpoint_dir = next();
+            else if (arg == "--resume")
+                resume = true;
             else if (arg == "--log-level") {
                 const char *name = next();
                 if (!log::setLevelByName(name)) {
@@ -161,6 +188,11 @@ runCampaign(int argc, char **argv, runledger::Recorder &recorder)
             fault::configure(campaign.faultSpec); // validate grammar now
     } catch (const ConfigError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+    if (resume && checkpoint_dir.empty()) {
+        std::fprintf(stderr,
+                     "error: --resume requires --checkpoint DIR\n");
         return 2;
     }
 
@@ -204,19 +236,44 @@ runCampaign(int argc, char **argv, runledger::Recorder &recorder)
             }
         }
         campaign.designer.seed = campaign.baseSeed;
+        std::ostringstream cfg;
+        cfg << "rates=";
+        for (double rate : campaign.defectRates)
+            cfg << rate << ",";
+        cfg << "seeds=" << campaign.seedsPerRate
+            << ",route=" << campaign.route
+            << ",faults=" << campaign.faultSpec;
         if (runledger::ledgerConfigured()) {
             recorder.hashBytes("chip", chipToString(chip));
             recorder.setHash("seed",
                              std::to_string(campaign.baseSeed));
-            std::ostringstream cfg;
-            cfg << "rates=";
-            for (double rate : campaign.defectRates)
-                cfg << rate << ",";
-            cfg << "seeds=" << campaign.seedsPerRate
-                << ",route=" << campaign.route
-                << ",faults=" << campaign.faultSpec;
             recorder.hashBytes("config", cfg.str());
         }
+
+        if (deadline_s > 0.0)
+            cancel::armDeadline(deadline_s);
+        if (!checkpoint_dir.empty()) {
+            try {
+                checkpoint::open(
+                    checkpoint_dir, "fault_campaign",
+                    {{"chip", runledger::fnv1aHex(chipToString(chip))},
+                     {"seed", std::to_string(campaign.baseSeed)},
+                     {"config", runledger::fnv1aHex(cfg.str())}},
+                    resume);
+            } catch (const ConfigError &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                return 2;
+            }
+            const checkpoint::Stats st = checkpoint::stats();
+            if (resume)
+                std::printf("checkpoint: resumed %zu snapshot(s) from "
+                            "%s (%zu rejected)\n",
+                            st.snapshotsLoaded, checkpoint_dir.c_str(),
+                            st.snapshotsRejected);
+        }
+        struct CheckpointCloser {
+            ~CheckpointCloser() { checkpoint::close(); }
+        } checkpoint_closer;
 
         const FaultCampaignSummary summary =
             runFaultCampaign(chip, campaign);
@@ -227,14 +284,7 @@ runCampaign(int argc, char **argv, runledger::Recorder &recorder)
                          " degraded=" +
                          std::to_string(summary.degradedCount));
 
-        std::ofstream out(out_path);
-        if (!out) {
-            std::fprintf(stderr, "error: cannot write %s\n",
-                         out_path.c_str());
-            return 1;
-        }
-        out << summary.toJson();
-        out.close();
+        io::atomicWriteFile(out_path, summary.toJson());
 
         std::printf("-- fault campaign --\n"
                     "chip                   %s (%zu qubits)\n"
@@ -265,6 +315,11 @@ runCampaign(int argc, char **argv, runledger::Recorder &recorder)
                          "design nor a structured failure\n");
             return 1;
         }
+    } catch (const cancel::Cancelled &e) {
+        flight::dump("cancelled");
+        log::error("campaign cancelled", {{"where", e.where()}});
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 3;
     } catch (const std::exception &e) {
         log::error("campaign failed", {{"what", e.what()}});
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -8,6 +8,7 @@
  *               [--hop] [--hop-save FILE]
  *               [--drift-trace FILE] [--drift-epochs N]
  *               [--trace FILE] [--inject-faults SPEC]
+ *               [--deadline SECONDS] [--checkpoint DIR] [--resume]
  *               [--log-level LEVEL]
  *
  * Topologies: square, hexagon, heavy-square, heavy-hexagon, low-density,
@@ -51,24 +52,38 @@
  * observation-only: the designed wiring is byte-identical with or
  * without them.
  *
+ * Robustness: --deadline SECONDS arms a cooperative deadline
+ * (common/cancel.hpp); a run that exceeds it aborts cleanly with a
+ * structured deadline_exceeded error, a flight dump, and exit code 3.
+ * --checkpoint DIR journals the pipeline's natural barriers (per tile
+ * for --hierarchical design and routing, per epoch for --drift-trace)
+ * into DIR; --resume (requires --checkpoint) replays a prior
+ * interrupted run's journal -- the manifest must hash to the same chip,
+ * seed and configuration -- and the finished artifacts are
+ * byte-identical to an uninterrupted run (see docs/CHECKPOINTS.md).
+ * All artifact files are written atomically (temp + fsync + rename).
+ *
  * Exit codes: 0 success, 1 runtime failure (including structured design
  * failures), 2 usage / bad argument (including chip files that fail to
- * parse).
+ * parse), 3 cancelled / deadline exceeded.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "chip/chip_bin.hpp"
 #include "chip/chip_io.hpp"
 #include "chip/topology_builder.hpp"
+#include "common/atomic_io.hpp"
+#include "common/cancel.hpp"
+#include "common/checkpoint.hpp"
 #include "common/cli_parse.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
@@ -76,6 +91,7 @@
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/runledger.hpp"
+#include "core/hierarchical.hpp"
 #include "common/trace.hpp"
 #include "common/watchdog.hpp"
 #include "core/baselines.hpp"
@@ -111,6 +127,7 @@ usage(const char *argv0)
         "          [--hop] [--hop-save FILE] [--drift-trace FILE] "
         "[--drift-epochs N]\n"
         "          [--trace FILE] [--inject-faults SPEC]\n"
+        "          [--deadline SECONDS] [--checkpoint DIR] [--resume]\n"
         "          [--log-level error|warn|info|debug]\n"
         "  --rows/--cols/--capacity take integers >= 1, --theta a "
         "positive number;\n"
@@ -140,7 +157,14 @@ usage(const char *argv0)
         "(implies\n"
         "  --route); --inject-faults arms deterministic fault injection "
         "(grammar\n"
-        "  site[:rate[:seed]][,...]; also YOUTIAO_FAULTS); --log-level "
+        "  site[:rate[:seed]][,...]; also YOUTIAO_FAULTS);\n"
+        "  --deadline SECONDS cancels the run cooperatively when the "
+        "budget runs\n"
+        "  out (exit 3); --checkpoint DIR journals per-tile/per-epoch "
+        "snapshots;\n"
+        "  --resume replays a matching journal so the finished artifact "
+        "is\n"
+        "  byte-identical to an uninterrupted run; --log-level "
         "sets the\n"
         "  structured-log threshold (also the YOUTIAO_LOG environment "
         "variable)\n",
@@ -201,6 +225,9 @@ runCli(int argc, char **argv, runledger::Recorder &recorder)
     std::string hop_save_path;
     std::string drift_path;
     std::size_t drift_epochs = 48;
+    double deadline_s = 0.0;
+    std::string checkpoint_dir;
+    bool resume = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -250,6 +277,13 @@ runCli(int argc, char **argv, runledger::Recorder &recorder)
                 drift_epochs = parseSizeArg(next(), "--drift-epochs");
             else if (arg == "--trace")
                 trace_path = next();
+            else if (arg == "--deadline")
+                deadline_s =
+                    parsePositiveDoubleArg(next(), "--deadline");
+            else if (arg == "--checkpoint")
+                checkpoint_dir = next();
+            else if (arg == "--resume")
+                resume = true;
             else if (arg == "--inject-faults")
                 fault_spec = next();
             else if (arg == "--log-level") {
@@ -276,6 +310,11 @@ runCli(int argc, char **argv, runledger::Recorder &recorder)
     }
     if (repeat > 1 && !profile) {
         std::fprintf(stderr, "error: --repeat requires --profile\n");
+        return 2;
+    }
+    if (resume && checkpoint_dir.empty()) {
+        std::fprintf(stderr,
+                     "error: --resume requires --checkpoint DIR\n");
         return 2;
     }
     // The hierarchical path has its own report, routing and exit
@@ -364,6 +403,44 @@ runCli(int argc, char **argv, runledger::Recorder &recorder)
                     ",faults=" + fault_spec);
         }
 
+        if (deadline_s > 0.0)
+            cancel::armDeadline(deadline_s);
+        if (!checkpoint_dir.empty()) {
+            // The manifest hashes mirror the run-ledger provenance
+            // values: a resume under a different chip, seed or
+            // configuration is refused up front instead of splicing
+            // incompatible snapshots.
+            try {
+                checkpoint::open(
+                    checkpoint_dir, "youtiao_cli",
+                    {{"chip", runledger::fnv1aHex(chipToString(chip))},
+                     {"seed", std::to_string(seed)},
+                     {"config",
+                      runledger::fnv1aHex(
+                          "topology=" + topology +
+                          ",capacity=" + std::to_string(capacity) +
+                          ",theta=" + std::to_string(theta) +
+                          ",hierarchical=" +
+                          (hierarchical ? "1" : "0") +
+                          ",tile_size=" + std::to_string(tile_size) +
+                          ",faults=" + fault_spec)}},
+                    resume);
+            } catch (const ConfigError &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                return 2;
+            }
+            const checkpoint::Stats st = checkpoint::stats();
+            if (resume)
+                std::printf("checkpoint: resumed %zu snapshot(s) from "
+                            "%s (%zu rejected)\n",
+                            st.snapshotsLoaded, checkpoint_dir.c_str(),
+                            st.snapshotsRejected);
+        }
+        // From here every return path must release the journal.
+        struct CheckpointCloser {
+            ~CheckpointCloser() { checkpoint::close(); }
+        } checkpoint_closer;
+
         if (hierarchical) {
             // Tiled scale-out: per-tile synthetic characterization
             // (O(tile^2), not O(chip^2) -- the global matrices would
@@ -372,8 +449,27 @@ runCli(int argc, char **argv, runledger::Recorder &recorder)
             HierarchicalConfig hier;
             hier.tileSizeQubits = tile_size;
             const HierarchicalDesigner hdesigner(config, hier);
-            const HierarchicalDesign hdesign =
-                hdesigner.designSynthesized(chip);
+            DegradationReport hier_partial;
+            Expected<HierarchicalDesign, DesignError> hresult =
+                hdesigner.designSynthesizedRobust(chip, 0.6,
+                                                  &hier_partial);
+            if (!hresult.hasValue()) {
+                const DesignError &err = hresult.error();
+                const std::string what = err.toString();
+                log::error("hierarchical design failed",
+                           {{"error", what}});
+                std::fprintf(stderr, "design error: %s\n",
+                             what.c_str());
+                for (const std::string &note : hier_partial.notes)
+                    std::fprintf(stderr, "  partial: %s\n",
+                                 note.c_str());
+                if (err.isCancellation()) {
+                    flight::dump("cancelled");
+                    return 3;
+                }
+                return 1;
+            }
+            const HierarchicalDesign &hdesign = hresult.value();
             std::fputs(hierarchicalReport(chip, hdesign, config).c_str(),
                        stdout);
             bool clean = true;
@@ -429,6 +525,10 @@ runCli(int argc, char **argv, runledger::Recorder &recorder)
                 const std::string what = result.error().toString();
                 log::error("design failed", {{"error", what}});
                 std::fprintf(stderr, "design error: %s\n", what.c_str());
+                if (result.error().isCancellation()) {
+                    flight::dump("cancelled");
+                    throw ExitFailure{3};
+                }
                 throw ExitFailure{1};
             }
             return std::move(result.value());
@@ -465,13 +565,9 @@ runCli(int argc, char **argv, runledger::Recorder &recorder)
 
         std::fputs(wiringReport(chip, design, config).c_str(), stdout);
         if (!save_path.empty()) {
-            std::ofstream out(save_path);
-            if (!out) {
-                std::fprintf(stderr, "error: cannot write %s\n",
-                             save_path.c_str());
-                return 1;
-            }
+            std::ostringstream out;
             saveDesign(out, design);
+            io::atomicWriteFile(save_path, out.str());
             std::printf("\ndesign saved to %s\n", save_path.c_str());
         }
         if (compare) {
@@ -510,13 +606,8 @@ runCli(int argc, char **argv, runledger::Recorder &recorder)
             if (hop)
                 std::printf("\n%s", hopPlanReport(hop_plan).c_str());
             if (!hop_save_path.empty()) {
-                std::ofstream out(hop_save_path);
-                if (!out) {
-                    std::fprintf(stderr, "error: cannot write %s\n",
-                                 hop_save_path.c_str());
-                    return 1;
-                }
-                out << hopPlanToJson(hop_plan);
+                io::atomicWriteFile(hop_save_path,
+                                    hopPlanToJson(hop_plan));
                 std::printf("\nhop schedule saved to %s\n",
                             hop_save_path.c_str());
             }
@@ -543,13 +634,8 @@ runCli(int argc, char **argv, runledger::Recorder &recorder)
             }
             std::printf("\n%s",
                         driftAdaptationReport(results).c_str());
-            std::ofstream out(drift_path);
-            if (!out) {
-                std::fprintf(stderr, "error: cannot write %s\n",
-                             drift_path.c_str());
-                return 1;
-            }
-            out << driftResultsToJson(trace_data, results);
+            io::atomicWriteFile(drift_path,
+                                driftResultsToJson(trace_data, results));
             std::printf("\ndrift replay saved to %s\n",
                         drift_path.c_str());
         }
@@ -577,6 +663,14 @@ runCli(int argc, char **argv, runledger::Recorder &recorder)
         }
     } catch (const ExitFailure &e) {
         return e.code;
+    } catch (const cancel::Cancelled &e) {
+        // A Cancelled that escaped a non-robust path (routing, drift
+        // replay, hop schedule): same structured exit as the design
+        // ladder's DeadlineExceeded.
+        flight::dump("cancelled");
+        log::error("run cancelled", {{"where", e.where()}});
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 3;
     } catch (const std::exception &e) {
         log::error("run failed", {{"what", e.what()}});
         std::fprintf(stderr, "error: %s\n", e.what());
